@@ -1,0 +1,53 @@
+"""Ablation A — recall on/off at a fixed ER-r level.
+
+DESIGN.md calls out recall (persisting each sensor's last
+classification) as the mechanism that makes the ensemble possible at
+all on harvested energy: without it (plain AAS) the system output rides
+on a single fresh inference.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import averaged_event_accuracy
+from repro.core.policies import aas_policy, aasr_policy
+from repro.utils.text import format_table
+
+RR_LENGTHS = (3, 12)
+
+
+@pytest.fixture(scope="module")
+def recall_table(mhealth_exp):
+    rows = {}
+    for n in RR_LENGTHS:
+        without, _ = averaged_event_accuracy(mhealth_exp, aas_policy(n))
+        with_recall, _ = averaged_event_accuracy(mhealth_exp, aasr_policy(n))
+        rows[n] = (without, with_recall)
+    return rows
+
+
+def test_ablation_recall_render(recall_table, save_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = format_table(
+        ["ER-r level", "AAS (no recall)", "AASR (recall)", "delta (pts)"],
+        [
+            [f"RR{n}", a * 100, b * 100, (b - a) * 100]
+            for n, (a, b) in recall_table.items()
+        ],
+        title="=== Ablation A: recall on/off (event accuracy, %) ===",
+    )
+    save_result("ablation_recall", table)
+
+
+def test_ablation_recall_helps_on_average(recall_table, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    deltas = [b - a for a, b in recall_table.values()]
+    assert np.mean(deltas) > 0.0, recall_table
+
+
+def test_ablation_timing(benchmark, mhealth_exp):
+    benchmark.pedantic(
+        lambda: mhealth_exp.run(aasr_policy(12), seed=3, n_windows=120),
+        rounds=1,
+        iterations=1,
+    )

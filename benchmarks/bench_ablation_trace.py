@@ -1,0 +1,77 @@
+"""Ablation C — sensitivity to the harvested-power level.
+
+Scales the RF trace and watches completion rate and accuracy respond:
+richer harvest -> more completions -> higher accuracy, saturating once
+nearly every scheduled inference completes (the paper's 'in case of
+abundant energy supply, one can use a round robin policy fit for the
+given EH source').
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import standard_config
+from repro.core.policies import origin_policy
+from repro.utils.text import format_table
+
+SCALES = (0.5, 1.0, 2.0, 4.0)
+SEEDS = (41, 42, 43)
+
+
+@pytest.fixture(scope="module")
+def scale_series(mhealth_exp):
+    saved = mhealth_exp.config
+    series = {}
+    try:
+        for scale in SCALES:
+            mhealth_exp.config = replace(standard_config(), trace_scale=scale)
+            runs = [
+                mhealth_exp.run(origin_policy(12), seed=seed) for seed in SEEDS
+            ]
+            series[scale] = (
+                float(np.mean([run.completion_rate for run in runs])),
+                float(np.mean([run.event_accuracy for run in runs])),
+            )
+    finally:
+        mhealth_exp.config = saved
+    return series
+
+
+def test_ablation_trace_render(scale_series, save_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = format_table(
+        ["Trace scale", "Completion rate (%)", "Event accuracy (%)"],
+        [
+            [f"x{scale}", completion * 100, accuracy * 100]
+            for scale, (completion, accuracy) in scale_series.items()
+        ],
+        title="=== Ablation C: harvested-power sensitivity (RR12 Origin) ===",
+    )
+    save_result("ablation_trace", table)
+
+
+def test_ablation_completion_monotone_in_power(scale_series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    completions = [scale_series[s][0] for s in SCALES]
+    assert all(b >= a - 0.02 for a, b in zip(completions, completions[1:]))
+
+
+def test_ablation_low_power_hurts_completion(scale_series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert scale_series[0.5][0] < scale_series[4.0][0]
+
+
+def test_ablation_accuracy_saturates(scale_series, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Going from 2x to 4x adds little once completions saturate.
+    assert abs(scale_series[4.0][1] - scale_series[2.0][1]) < 0.10
+
+
+def test_ablation_timing(benchmark, mhealth_exp):
+    benchmark.pedantic(
+        lambda: mhealth_exp.run(origin_policy(12), seed=5, n_windows=120),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,113 @@
+"""Extension — the Discussion's resilience and hybrid-power claims.
+
+Paper §IV (Discussion): Origin "uses multiple sensors effectively and
+hence poses minimum risk if one of the sensors fails", and "can also be
+used with battery-powered or hybrid ... systems".  These benches
+quantify both on the reproduction.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SEEDS, standard_config
+from repro.core.policies import origin_policy
+from repro.utils.text import format_table
+
+FAIL_AT = 100  # the wrist node dies a fifth into the run
+
+
+@pytest.fixture(scope="module")
+def resilience(mhealth_exp):
+    wrist_id = 1  # deployment order: chest 0, right wrist 1, left ankle 2
+    healthy, failed = [], []
+    for seed in SEEDS:
+        subject = mhealth_exp.dataset.eval_subjects[seed % 2]
+        healthy.append(
+            mhealth_exp.run(origin_policy(12), seed=seed, subject=subject).event_accuracy
+        )
+        failed.append(
+            mhealth_exp.run(
+                origin_policy(12),
+                seed=seed,
+                subject=subject,
+                failures={wrist_id: FAIL_AT},
+            ).event_accuracy
+        )
+    return float(np.mean(healthy)), float(np.mean(failed))
+
+
+@pytest.fixture(scope="module")
+def hybrid(mhealth_exp):
+    saved = mhealth_exp.config
+    rows = {}
+    try:
+        for name, scale, battery in (
+            ("starved EH (0.4x)", 0.4, 0.0),
+            ("starved EH + 20 uW battery", 0.4, 20e-6),
+            ("nominal EH", 1.0, 0.0),
+        ):
+            mhealth_exp.config = replace(
+                standard_config(), trace_scale=scale, battery_supplement_w=battery
+            )
+            runs = [
+                mhealth_exp.run(origin_policy(12), seed=seed) for seed in SEEDS[:3]
+            ]
+            rows[name] = (
+                float(np.mean([r.completion_rate for r in runs])),
+                float(np.mean([r.event_accuracy for r in runs])),
+            )
+    finally:
+        mhealth_exp.config = saved
+    return rows
+
+
+def test_resilience_render(resilience, hybrid, save_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    healthy, failed = resilience
+    rows = [
+        ["all three sensors healthy", healthy * 100],
+        [f"wrist dies at slot {FAIL_AT}", failed * 100],
+        ["degradation (pts)", (healthy - failed) * 100],
+    ]
+    text = format_table(
+        ["Scenario", "Event accuracy (%)"],
+        rows,
+        title="=== Extension: sensor-failure resilience (RR12 Origin) ===",
+    )
+    text += "\n\n" + format_table(
+        ["Power supply", "Completion (%)", "Event accuracy (%)"],
+        [
+            [name, completion * 100, accuracy * 100]
+            for name, (completion, accuracy) in hybrid.items()
+        ],
+        title="=== Extension: hybrid battery+EH operation (RR12 Origin) ===",
+    )
+    save_result("ext_resilience_hybrid", text)
+
+
+def test_failure_degrades_gracefully(resilience, benchmark):
+    """Losing one of three sensors costs points, not collapse."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    healthy, failed = resilience
+    assert failed > 0.5 * healthy, (healthy, failed)
+    assert failed > 0.45, "the surviving pair must stay usable"
+
+
+def test_battery_trickle_rescues_starved_deployment(hybrid, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    starved = hybrid["starved EH (0.4x)"]
+    rescued = hybrid["starved EH + 20 uW battery"]
+    assert rescued[0] > starved[0], "battery trickle must lift completion"
+    assert rescued[1] >= starved[1] - 0.02
+
+
+def test_resilience_timing(benchmark, mhealth_exp):
+    benchmark.pedantic(
+        lambda: mhealth_exp.run(
+            origin_policy(12), seed=2, n_windows=120, failures={1: 40}
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,97 @@
+"""Fig. 2 — per-sensor DNN accuracy and majority voting (MHEALTH).
+
+Paper shape: the left-ankle classifier is the strongest overall, the
+chest beats the ankle for climbing, the wrist is the weakest, and
+majority voting is at least competitive with the best individual.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.activities import Activity
+from repro.reporting import render_fig2_sensor_accuracy
+from repro.sim.baselines import per_sensor_accuracy
+
+
+@pytest.fixture(scope="module")
+def fig2_data(mhealth_exp):
+    per_sensor = None
+    majority = None
+    # Average two timelines for stability.
+    collected = []
+    for seed in (31, 32):
+        collected.append(
+            per_sensor_accuracy(
+                mhealth_exp.dataset,
+                mhealth_exp.bundle,
+                pruned=True,
+                windows_per_class=60,
+                seed=seed,
+            )
+        )
+    activities = mhealth_exp.dataset.spec.activities
+    per_sensor = {
+        name: {
+            a: float(np.mean([c[0][name][a] for c in collected])) for a in activities
+        }
+        for name in collected[0][0]
+    }
+    majority = {
+        a: float(np.mean([c[1][a] for c in collected])) for a in activities
+    }
+    return per_sensor, majority
+
+
+def overall(report):
+    return float(np.mean(list(report.values())))
+
+
+def test_fig2_render(fig2_data, mhealth_exp, save_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    per_sensor, majority = fig2_data
+    save_result(
+        "fig2_sensor_accuracy",
+        render_fig2_sensor_accuracy(
+            mhealth_exp.dataset.spec.activities, per_sensor, majority
+        ),
+    )
+
+
+def test_fig2_ankle_strongest_overall(fig2_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    per_sensor, _ = fig2_data
+    assert overall(per_sensor["Left Ankle"]) > overall(per_sensor["Right Wrist"])
+    assert overall(per_sensor["Left Ankle"]) >= overall(per_sensor["Chest"]) - 0.05
+
+
+def test_fig2_chest_best_at_climbing(fig2_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    per_sensor, _ = fig2_data
+    chest = per_sensor["Chest"][Activity.CLIMBING]
+    ankle = per_sensor["Left Ankle"][Activity.CLIMBING]
+    wrist = per_sensor["Right Wrist"][Activity.CLIMBING]
+    assert chest >= max(ankle, wrist) - 0.02, (
+        "the chest's torso-pitch signature should win climbing"
+    )
+
+
+def test_fig2_wrist_weakest(fig2_data, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    per_sensor, _ = fig2_data
+    assert overall(per_sensor["Right Wrist"]) == min(
+        overall(report) for report in per_sensor.values()
+    )
+
+
+def test_fig2_majority_voting_competitive(fig2_data, benchmark, mhealth_exp):
+    per_sensor, majority = fig2_data
+    best_individual = max(overall(report) for report in per_sensor.values())
+    assert overall(majority) > best_individual - 0.05
+
+    benchmark.pedantic(
+        lambda: per_sensor_accuracy(
+            mhealth_exp.dataset, mhealth_exp.bundle, windows_per_class=10, seed=1
+        ),
+        rounds=1,
+        iterations=1,
+    )

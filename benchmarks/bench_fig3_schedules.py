@@ -1,0 +1,47 @@
+"""Fig. 3 — the extended round-robin schedule flavors.
+
+Structural reproduction: cycle layouts of RR3/RR6/RR9/RR12 plus the
+per-node harvest window each provides.
+"""
+
+from repro.core.scheduling.round_robin import ExtendedRoundRobin
+from repro.reporting import render_fig3_schedules
+
+NODES = [0, 1, 2]
+RR_LENGTHS = (3, 6, 9, 12)
+
+
+def test_fig3_render(save_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_result("fig3_schedules", render_fig3_schedules(NODES, RR_LENGTHS))
+
+
+def test_fig3_cycle_structure(benchmark):
+    for rr_length in RR_LENGTHS:
+        policy = ExtendedRoundRobin.from_rr_length(NODES, rr_length)
+        assert policy.cycle_length == rr_length
+        compute_slots = [
+            s for s in range(rr_length) if policy.is_compute_slot(s)
+        ]
+        assert len(compute_slots) == 3  # one turn per node per cycle
+        # No-ops are evenly distributed after each node's turn (Fig. 3).
+        assert policy.noops_per_node == rr_length // 3 - 1
+
+    benchmark.pedantic(
+        lambda: [
+            ExtendedRoundRobin.from_rr_length(NODES, n).describe()
+            for n in RR_LENGTHS
+        ],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig3_harvest_window_grows_with_rr_length(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    windows = [
+        ExtendedRoundRobin.from_rr_length(NODES, n).harvest_slots_per_attempt()
+        for n in RR_LENGTHS
+    ]
+    assert windows == sorted(windows)
+    assert windows[-1] == 4 * windows[0]

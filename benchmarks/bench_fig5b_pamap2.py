@@ -1,0 +1,61 @@
+"""Fig. 5b — the full policy ladder on the PAMAP2-like dataset."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SEEDS
+from repro.reporting import render_fig5_policies
+from repro.sim.sweep import PolicySweep, paper_policy_grid
+
+RR_LENGTHS = (3, 6, 9, 12)
+
+
+@pytest.fixture(scope="module")
+def sweep(pamap2_exp):
+    runner = PolicySweep(pamap2_exp, n_seeds=len(SEEDS), include_baselines=True)
+    return runner.run(paper_policy_grid(RR_LENGTHS), seed=SEEDS[0])
+
+
+def event_overall(sweep, name):
+    return sweep.policy(name).event_accuracy
+
+
+def test_fig5b_render(sweep, save_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_result("fig5b_pamap2", render_fig5_policies("PAMAP2", sweep))
+
+
+def test_fig5b_five_activities(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(sweep.activities) == 5
+
+
+def test_fig5b_ladder_ordering(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rungs = {"rr": [], "aas": [], "aasr": [], "origin": []}
+    for n in RR_LENGTHS:
+        rungs["rr"].append(event_overall(sweep, f"RR{n}"))
+        rungs["aas"].append(event_overall(sweep, f"RR{n} AAS"))
+        rungs["aasr"].append(event_overall(sweep, f"RR{n} AASR"))
+        rungs["origin"].append(event_overall(sweep, f"RR{n} Origin"))
+    means = {name: float(np.mean(values)) for name, values in rungs.items()}
+    assert means["aas"] > means["rr"], means
+    assert means["aasr"] > means["aas"] - 0.01, means
+    assert means["origin"] > means["aasr"] - 0.01, means
+
+
+def test_fig5b_origin_near_pruned_baseline(sweep, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    bl2 = sweep.baseline("Baseline-2").overall_accuracy
+    best_origin = max(event_overall(sweep, f"RR{n} Origin") for n in RR_LENGTHS)
+    assert best_origin > bl2 - 0.06
+
+
+def test_fig5b_timing(benchmark, pamap2_exp):
+    from repro.core.policies import aasr_policy
+
+    benchmark.pedantic(
+        lambda: pamap2_exp.run(aasr_policy(12), seed=1, n_windows=120),
+        rounds=1,
+        iterations=1,
+    )

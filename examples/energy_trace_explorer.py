@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Explore the WiFi RF harvesting environment the nodes live in.
+
+Prints the statistics that make the paper's scheduling problem hard:
+the skewed per-slot energy distribution, burst correlation across
+nodes, and how many slots one (pruned vs unpruned) inference costs.
+
+Run:  python examples/energy_trace_explorer.py
+"""
+
+import numpy as np
+
+from repro.energy import OfficeState, PowerTraceGenerator
+from repro.utils.text import format_table, horizontal_bar_chart
+
+WINDOW_S = 2.56
+HOURS = 2.0
+
+
+def main() -> None:
+    generator = PowerTraceGenerator()
+    print(
+        f"Office model: "
+        + ", ".join(
+            f"{state.value} {generator.DEFAULT_POWER_W[state] * 1e6:.0f} uW "
+            f"(~{generator.DEFAULT_DWELL_S[state]:.0f} s dwells)"
+            for state in OfficeState
+        )
+    )
+    print(
+        f"expected average: {generator.expected_average_power_w() * 1e6:.1f} uW\n"
+    )
+
+    traces = generator.generate_correlated(
+        HOURS * 3600, gains=[1.0, 1.0, 1.0], seed=7
+    )
+    slots = [trace.slot_energies(WINDOW_S) * 1e6 for trace in traces]  # uJ
+
+    rows = []
+    for name, slot in zip(("chest", "wrist", "ankle"), slots):
+        rows.append(
+            [
+                name,
+                slot.mean(),
+                float(np.median(slot)),
+                float(np.percentile(slot, 90)),
+                slot.max(),
+            ]
+        )
+    print(
+        format_table(
+            ["node", "mean uJ/slot", "median", "p90", "max"],
+            rows,
+            title=f"Per-slot harvested energy over {HOURS:.0f} h (window {WINDOW_S}s)",
+        )
+    )
+
+    corr = np.corrcoef(traces[0].watts, traces[1].watts)[0, 1]
+    print(f"\ncross-node power correlation (shared office bursts): {corr:.2f}")
+
+    # Histogram of slot energies (log-ish buckets).
+    buckets = [0, 10, 25, 50, 100, 200, 400, 1e9]
+    labels = ["<10", "10-25", "25-50", "50-100", "100-200", "200-400", ">400"]
+    counts, _ = np.histogram(slots[0], bins=buckets)
+    print()
+    print(
+        horizontal_bar_chart(
+            {
+                f"{label} uJ": 100.0 * count / len(slots[0])
+                for label, count in zip(labels, counts)
+            },
+            title="Distribution of per-slot harvest (node 0)",
+            unit="%",
+        )
+    )
+
+    # How many slots one inference costs.
+    mean_slot = slots[0].mean()
+    for name, energy_uj in (("unpruned CNN", 250.0), ("pruned CNN", 60.0)):
+        print(
+            f"\none {name} inference (~{energy_uj:.0f} uJ) needs "
+            f"~{energy_uj / mean_slot:.1f} mean slots of harvest "
+            f"(and {energy_uj / np.median(slots[0]):.1f} median slots)"
+        )
+    print(
+        "\nReading: the median slot is far below the mean — most of the "
+        "energy arrives in bursts, which is why waiting (ER-r) and "
+        "choosing the right sensor (AAS) beat always-on inference."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Fig. 6 in miniature: the confidence matrix adapts to unseen users.
+
+Simulates three previously-unseen users whose noisy IMU data (<= 20 dB
+SNR) initially confuses the deployed ensemble, then lets the adaptive
+confidence matrix personalize over 200 iterations of 10 classifications
+each — and contrasts it with a frozen matrix.
+
+Run:  python examples/personalization.py
+"""
+
+from repro.reporting import render_fig6_personalization
+from repro.sim import HARExperiment, PersonalizationExperiment, SimulationConfig
+
+
+def main() -> None:
+    experiment = HARExperiment.standard_mhealth(
+        seed=7, config=SimulationConfig(n_windows=200)
+    )
+    study = PersonalizationExperiment(
+        experiment, checkpoints=(1, 10, 50, 200), snr_db=20.0
+    )
+
+    # Unseen users differ in gait but stay recognizable (variability
+    # beyond ~2 produces users no ensemble re-weighting can recover).
+    print("Adaptive confidence matrix (the paper's design):\n")
+    adaptive = study.run(n_users=3, seed=17, adaptive=True, user_variability=1.4)
+    print(render_fig6_personalization(adaptive))
+
+    print("\nAblation: frozen matrix (no personalization):\n")
+    frozen = study.run(n_users=3, seed=17, adaptive=False, user_variability=1.4)
+    print(frozen.summary())
+
+    adaptive_final = sum(
+        adaptive.user_final_accuracy(u) for u in adaptive.per_user_accuracy
+    ) / len(adaptive.per_user_accuracy)
+    frozen_final = sum(
+        frozen.user_final_accuracy(u) for u in frozen.per_user_accuracy
+    ) / len(frozen.per_user_accuracy)
+    print(
+        f"\nFinal accuracy, mean over users: adaptive {adaptive_final:.1%} "
+        f"vs frozen {frozen_final:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Compare the paper's whole policy ladder on one deployment.
+
+Reproduces a compact Fig. 5a: plain ER-r, activity-aware scheduling,
+recall, and Origin at two ER-r levels, next to both fully-powered
+baselines — then prints the Fig. 1 motivation numbers for the same
+energy environment.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro.core import Baseline1, Baseline2, aas_policy, aasr_policy, origin_policy, rr_policy
+from repro.reporting import render_fig1_completion
+from repro.sim import (
+    CompletionExperiment,
+    HARExperiment,
+    PolicySweep,
+    SimulationConfig,
+)
+from repro.utils.text import format_table
+
+
+def main() -> None:
+    experiment = HARExperiment.standard_mhealth(
+        seed=7, config=SimulationConfig(n_windows=400, dwell_scale=5.0)
+    )
+
+    print("Why scheduling matters (Fig. 1 motivation):\n")
+    study = CompletionExperiment(experiment).run(seed=3)
+    print(render_fig1_completion(study))
+
+    print("\nRunning the policy ladder (2 seeds each)...")
+    policies = []
+    for rr_length in (3, 12):
+        policies += [
+            rr_policy(rr_length),
+            aas_policy(rr_length),
+            aasr_policy(rr_length),
+            origin_policy(rr_length),
+        ]
+    sweep = PolicySweep(experiment, n_seeds=2).run(policies, seed=21)
+
+    rows = []
+    for spec in policies:
+        result = sweep.policy(spec.name)
+        rows.append(
+            [
+                spec.name,
+                result.event_accuracy * 100,
+                result.completion_rate * 100,
+                result.comm_energy_j * 1e6,
+            ]
+        )
+    for baseline in (Baseline2, Baseline1):
+        result = sweep.baseline(baseline.name)
+        rows.append([baseline.name + " (full power)", result.overall_accuracy * 100, 100.0, 0.0])
+    print()
+    print(
+        format_table(
+            ["Policy", "Accuracy (%)", "Completion (%)", "Radio energy (uJ)"],
+            rows,
+            title="Policy ladder on harvested energy vs fully-powered baselines",
+        )
+    )
+    print(
+        "\nReading: each rung (AAS -> recall -> confidence matrix) adds "
+        "accuracy; Origin approaches or beats the fully-powered pruned "
+        "baseline while running on harvested energy only."
+    )
+
+
+if __name__ == "__main__":
+    main()

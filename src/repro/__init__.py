@@ -1,0 +1,43 @@
+"""Reproduction of *Origin* (DATE 2021).
+
+Origin enables DNN-based human activity recognition (HAR) on a body-area
+network of energy-harvesting sensor nodes by combining:
+
+* extended round-robin scheduling (``RR3`` .. ``RR12``),
+* activity-aware sensor selection (AAS) via a per-activity rank table,
+* recall of each sensor's most recent classification (AASR), and
+* an adaptive confidence matrix for weighted majority voting.
+
+The package is organized bottom-up:
+
+``repro.datasets``
+    Synthetic MHEALTH/PAMAP2-like multi-position IMU datasets with
+    temporal activity continuity and per-subject variation.
+``repro.nn``
+    A from-scratch numpy neural-network library (1-D CNNs, training,
+    per-layer energy modelling and energy-aware pruning).
+``repro.energy``
+    Energy-harvesting substrate: WiFi RF power traces, capacitor storage
+    and a non-volatile-processor intermittent compute model.
+``repro.wsn``
+    Body-area-network substrate: sensor nodes, host device, radio cost
+    model and a discrete-event simulator.
+``repro.core``
+    The paper's contribution: scheduling policies, ensemble methods, the
+    confidence matrix, and the Origin policy plus both paper baselines.
+``repro.sim``
+    End-to-end experiment harnesses reproducing every figure and table.
+
+Quickstart::
+
+    from repro.sim import HARExperiment
+    from repro.core import OriginPolicy
+
+    exp = HARExperiment.standard_mhealth(seed=7)
+    result = exp.run(policy=OriginPolicy.with_rr(12))
+    print(result.overall_accuracy)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

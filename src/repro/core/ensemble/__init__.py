@@ -1,0 +1,6 @@
+"""Ensemble aggregation: majority voting and the confidence matrix."""
+
+from repro.core.ensemble.confidence import ConfidenceMatrix
+from repro.core.ensemble.voting import MajorityVote, WeightedMajorityVote
+
+__all__ = ["ConfidenceMatrix", "MajorityVote", "WeightedMajorityVote"]

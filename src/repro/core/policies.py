@@ -1,0 +1,206 @@
+"""Complete system configurations.
+
+A :class:`PolicySpec` names everything the simulator needs to run one of
+the paper's configurations: the ER-r cycle length, whether scheduling is
+activity-aware, how the host aggregates (last inference only, naive
+majority over recall, or confidence-weighted majority), and whether the
+confidence matrix adapts online.
+
+The paper's ladder (Figs. 4-5):
+
+=====================  ==============================================
+``rr_policy(n)``       plain ER-r, last completed inference wins
+``aas_policy(n)``      + activity-aware sensor selection
+``aasr_policy(n)``     + recall at the host, naive majority voting
+``origin_policy(n)``   + adaptive confidence-weighted voting (Origin)
+=====================  ==============================================
+
+plus the two fully-powered baselines (``Baseline1``/``Baseline2``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.scheduling.aas import ActivityAwareScheduler
+from repro.core.scheduling.rank_table import RankTable
+from repro.core.scheduling.round_robin import ExtendedRoundRobin
+from repro.core.scheduling.base import SchedulingPolicy
+from repro.errors import ConfigurationError
+
+
+class AggregationMode(enum.Enum):
+    """How the final per-window classification is produced."""
+
+    #: The most recent completed inference's label (no ensemble).
+    LAST_INFERENCE = "last_inference"
+    #: Naive majority over every node's recalled last classification.
+    MAJORITY_RECALL = "majority_recall"
+    #: Confidence-matrix-weighted majority over recalled votes.
+    CONFIDENCE_RECALL = "confidence_recall"
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One runnable system configuration.
+
+    Attributes
+    ----------
+    name:
+        Display name matching the paper's figure legends.
+    rr_length:
+        ER-r cycle length (3, 6, 9, 12 for three nodes).
+    activity_aware:
+        Whether AAS replaces the fixed round-robin turn order.
+    aggregation:
+        Host-side aggregation mode.
+    adaptive_confidence:
+        Whether the confidence matrix updates online (Origin only).
+    """
+
+    name: str
+    rr_length: int
+    activity_aware: bool
+    aggregation: AggregationMode
+    adaptive_confidence: bool = False
+    all_on: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rr_length < 1:
+            raise ConfigurationError(f"rr_length must be >= 1, got {self.rr_length}")
+        if (
+            self.adaptive_confidence
+            and self.aggregation is not AggregationMode.CONFIDENCE_RECALL
+        ):
+            raise ConfigurationError(
+                "adaptive_confidence requires CONFIDENCE_RECALL aggregation"
+            )
+        if self.all_on and self.activity_aware:
+            raise ConfigurationError("all_on (naive) scheduling cannot be activity-aware")
+
+    @property
+    def uses_recall(self) -> bool:
+        """Whether non-active sensors vote via recall."""
+        return self.aggregation is not AggregationMode.LAST_INFERENCE
+
+    @property
+    def uses_confidence_matrix(self) -> bool:
+        """Whether voting is confidence-weighted."""
+        return self.aggregation is AggregationMode.CONFIDENCE_RECALL
+
+    def make_scheduler(
+        self, node_ids: Sequence[int], rank_table: Optional[RankTable]
+    ) -> SchedulingPolicy:
+        """Instantiate this spec's scheduler for a deployment."""
+        from repro.core.scheduling.naive import NaiveAllOn
+
+        if self.all_on:
+            return NaiveAllOn(list(node_ids))
+        base = ExtendedRoundRobin.from_rr_length(list(node_ids), self.rr_length)
+        if not self.activity_aware:
+            return base
+        if rank_table is None:
+            raise ConfigurationError(f"{self.name} needs a rank table")
+        # Recall ensembles need every sensor's recalled vote to stay
+        # fresh, so they rest sensors longer (full rotation); plain AAS
+        # maximizes time-on-best-sensor instead.
+        cooldown = (
+            ActivityAwareScheduler.cooldown_for_recall(base)
+            if self.uses_recall
+            else None
+        )
+        return ActivityAwareScheduler(base, rank_table, cooldown_slots=cooldown)
+
+
+# ---------------------------------------------------------------------------
+# the paper's ladder
+# ---------------------------------------------------------------------------
+
+
+def naive_policy(n_nodes: int = 3) -> PolicySpec:
+    """Every node attempts every window (Fig. 1a's strawman)."""
+    return PolicySpec(
+        name="Naive all-on",
+        rr_length=n_nodes,
+        activity_aware=False,
+        aggregation=AggregationMode.LAST_INFERENCE,
+        all_on=True,
+    )
+
+
+def rr_policy(rr_length: int) -> PolicySpec:
+    """Plain extended round-robin (``RR3`` .. ``RR12``)."""
+    return PolicySpec(
+        name=f"RR{rr_length}",
+        rr_length=rr_length,
+        activity_aware=False,
+        aggregation=AggregationMode.LAST_INFERENCE,
+    )
+
+
+def aas_policy(rr_length: int) -> PolicySpec:
+    """ER-r with activity-aware scheduling."""
+    return PolicySpec(
+        name=f"RR{rr_length} AAS",
+        rr_length=rr_length,
+        activity_aware=True,
+        aggregation=AggregationMode.LAST_INFERENCE,
+    )
+
+
+def aasr_policy(rr_length: int) -> PolicySpec:
+    """AAS plus recall with naive majority voting."""
+    return PolicySpec(
+        name=f"RR{rr_length} AASR",
+        rr_length=rr_length,
+        activity_aware=True,
+        aggregation=AggregationMode.MAJORITY_RECALL,
+    )
+
+
+def origin_policy(rr_length: int, *, adaptive: bool = True) -> PolicySpec:
+    """Origin: AASR plus the (adaptive) confidence matrix."""
+    suffix = "" if adaptive else " (static)"
+    return PolicySpec(
+        name=f"RR{rr_length} Origin{suffix}",
+        rr_length=rr_length,
+        activity_aware=True,
+        aggregation=AggregationMode.CONFIDENCE_RECALL,
+        adaptive_confidence=adaptive,
+    )
+
+
+class OriginPolicy:
+    """Convenience namespace: ``OriginPolicy.with_rr(12)``."""
+
+    @staticmethod
+    def with_rr(rr_length: int, *, adaptive: bool = True) -> PolicySpec:
+        """Origin at the given ER-r cycle length."""
+        return origin_policy(rr_length, adaptive=adaptive)
+
+
+# ---------------------------------------------------------------------------
+# fully-powered baselines
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """A fully-powered majority-voting baseline (paper §IV-C).
+
+    Both baselines run every sensor on every window from a steady power
+    source and aggregate with naive majority voting; they differ only in
+    whether the DNNs are energy-aware pruned.
+    """
+
+    name: str
+    pruned: bool
+
+
+#: Original (unpruned) per-location DNNs on steady power.
+Baseline1 = BaselineSpec(name="Baseline-1", pruned=False)
+
+#: DNNs pruned to the average harvested power budget, on steady power.
+Baseline2 = BaselineSpec(name="Baseline-2", pruned=True)

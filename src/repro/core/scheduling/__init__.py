@@ -1,0 +1,16 @@
+"""Scheduling policies for the EH-WSN."""
+
+from repro.core.scheduling.base import SchedulingContext, SchedulingPolicy
+from repro.core.scheduling.naive import NaiveAllOn
+from repro.core.scheduling.rank_table import RankTable
+from repro.core.scheduling.round_robin import ExtendedRoundRobin
+from repro.core.scheduling.aas import ActivityAwareScheduler
+
+__all__ = [
+    "SchedulingContext",
+    "SchedulingPolicy",
+    "NaiveAllOn",
+    "RankTable",
+    "ExtendedRoundRobin",
+    "ActivityAwareScheduler",
+]

@@ -1,0 +1,63 @@
+"""Scheduling-policy protocol.
+
+A policy is asked, every slot, which nodes should attempt an inference;
+afterwards it observes what happened (which inferences completed, what
+the system's final classification was) so it can adapt — that feedback
+is what makes activity-aware scheduling possible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.wsn.node import InferenceOutcome
+
+
+@dataclass
+class SchedulingContext:
+    """What a policy may look at when deciding.
+
+    Attributes
+    ----------
+    node_energy_j:
+        Current stored energy per node id.
+    node_ready:
+        Whether each node could finish a fresh inference right now
+        (the AAS energy check).
+    anticipated_label:
+        The activity the system expects next (= the last classification,
+        by temporal continuity); ``None`` before the first result.
+    """
+
+    node_energy_j: Dict[int, float] = field(default_factory=dict)
+    node_ready: Dict[int, bool] = field(default_factory=dict)
+    anticipated_label: Optional[int] = None
+
+
+class SchedulingPolicy(ABC):
+    """Decides node activations slot by slot."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def active_nodes(self, slot_index: int, context: SchedulingContext) -> List[int]:
+        """Node ids that should attempt an inference this slot.
+
+        An empty list is a no-op (pure harvesting) slot.
+        """
+
+    def observe(
+        self,
+        slot_index: int,
+        outcomes: Sequence[InferenceOutcome],
+        final_label: Optional[int],
+    ) -> None:
+        """Feedback hook after the slot ran.  Default: ignore."""
+
+    def reset(self) -> None:
+        """Clear mutable state before a fresh run.  Default: nothing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,26 @@
+"""Naive all-on scheduling (the paper's Fig. 1a strawman)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.scheduling.base import SchedulingContext, SchedulingPolicy
+from repro.errors import SchedulingError
+
+
+class NaiveAllOn(SchedulingPolicy):
+    """Every node attempts an inference every slot.
+
+    This is the conventional ensemble execution model: it needs all
+    sensors to finish, and on harvested energy it almost never gets
+    them (Fig. 1a: ~90% of windows see no completion at all).
+    """
+
+    def __init__(self, node_ids: Sequence[int]) -> None:
+        if not node_ids:
+            raise SchedulingError("node_ids must be non-empty")
+        self.node_ids = list(node_ids)
+        self.name = "naive-all-on"
+
+    def active_nodes(self, slot_index: int, context: SchedulingContext) -> List[int]:
+        return list(self.node_ids)

@@ -1,0 +1,94 @@
+"""Per-activity sensor ranking.
+
+The paper stores, per activity, the *rank* of each sensor rather than
+its floating-point accuracy ("accuracy being a floating point number, is
+expensive in terms of energy to store and lookup", §III-B).  The table
+is seeded from validation accuracy and is immutable at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+
+
+class RankTable:
+    """``activity label -> node ids ordered best-first``.
+
+    Parameters
+    ----------
+    ranking:
+        For each class label, node ids from most to least accurate.
+    """
+
+    def __init__(self, ranking: Mapping[int, Sequence[int]]) -> None:
+        if not ranking:
+            raise SchedulingError("ranking must be non-empty")
+        node_sets = {frozenset(nodes) for nodes in ranking.values()}
+        if len(node_sets) != 1:
+            raise SchedulingError("every class must rank the same node set")
+        for label, nodes in ranking.items():
+            if len(set(nodes)) != len(nodes):
+                raise SchedulingError(f"duplicate nodes in ranking for class {label}")
+        self._ranking: Dict[int, List[int]] = {
+            int(label): list(nodes) for label, nodes in ranking.items()
+        }
+        self._nodes = sorted(next(iter(node_sets)))
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_accuracy(
+        cls, per_class_accuracy: Mapping[int, Mapping[int, float]]
+    ) -> "RankTable":
+        """Build from ``{class label: {node id: accuracy}}``.
+
+        Ties break toward the lower node id (deterministic).
+        """
+        ranking = {}
+        for label, node_accuracy in per_class_accuracy.items():
+            ordered = sorted(node_accuracy.items(), key=lambda item: (-item[1], item[0]))
+            ranking[label] = [node_id for node_id, _ in ordered]
+        return cls(ranking)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def labels(self) -> List[int]:
+        """Class labels covered."""
+        return sorted(self._ranking)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All ranked node ids."""
+        return list(self._nodes)
+
+    def best_node(self, label: int) -> int:
+        """Most accurate node for ``label``."""
+        return self.ranked_nodes(label)[0]
+
+    def ranked_nodes(self, label: int) -> List[int]:
+        """All nodes for ``label``, best first."""
+        try:
+            return list(self._ranking[int(label)])
+        except KeyError as error:
+            raise SchedulingError(f"no ranking for class {label}") from error
+
+    def rank_of(self, label: int, node_id: int) -> int:
+        """0-based rank of ``node_id`` for ``label``."""
+        nodes = self.ranked_nodes(label)
+        try:
+            return nodes.index(node_id)
+        except ValueError as error:
+            raise SchedulingError(f"node {node_id} not ranked") from error
+
+    def as_array(self) -> np.ndarray:
+        """``(n_classes, n_nodes)`` int array of node ids, best first.
+
+        This is the compact integer representation the paper stores on
+        the node instead of floating-point accuracy.
+        """
+        return np.array([self._ranking[label] for label in self.labels], dtype=np.int8)

@@ -1,0 +1,39 @@
+"""Body locations of the wearable sensor nodes.
+
+The paper's deployment places one energy-harvesting IMU at the chest,
+one on the left ankle and one on the right wrist (§III, §IV-A); PAMAP2's
+hand sensor is mapped onto the wrist location.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class BodyLocation(enum.Enum):
+    """Sensor placement on the body."""
+
+    CHEST = "chest"
+    LEFT_ANKLE = "left_ankle"
+    RIGHT_WRIST = "right_wrist"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def label(self) -> str:
+        """Display name matching the paper's figures."""
+        return {
+            BodyLocation.CHEST: "Chest",
+            BodyLocation.LEFT_ANKLE: "Left Ankle",
+            BodyLocation.RIGHT_WRIST: "Right Wrist",
+        }[self]
+
+
+#: Deployment order used everywhere (matches Fig. 3's cycle order).
+DEPLOYMENT_ORDER: Tuple[BodyLocation, ...] = (
+    BodyLocation.CHEST,
+    BodyLocation.RIGHT_WRIST,
+    BodyLocation.LEFT_ANKLE,
+)

@@ -1,0 +1,226 @@
+"""Raw IMU window synthesis.
+
+Generates fixed-length 6-channel windows (3 accelerometer + 3 gyroscope
+axes) for a given activity, body location and subject, following the
+signature model in :mod:`repro.datasets.profiles`:
+
+``x_c(t) = gravity_c + A_c * sum_h w_h sin(2*pi*f*h*t + phi_c + phi_s)
+          + impacts(t) + sensor noise``
+
+Per-window log-normal amplitude jitter and frequency wobble provide
+intra-class variability, so two windows of the same activity are similar
+but never identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.activities import Activity
+from repro.datasets.body import BodyLocation
+from repro.datasets.profiles import ActivitySignature, N_CHANNELS, SignatureTable
+from repro.datasets.subjects import SubjectProfile
+from repro.errors import DatasetError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class StyleWobble:
+    """Momentary execution style of the wearer for one window.
+
+    A person does not perform an activity identically from window to
+    window — they speed up, slow down, move more or less vigorously.
+    Crucially this wobble is a property of the *movement*, so every
+    sensor on the body sees the same one at the same time: sampling one
+    wobble per window and passing it to all locations produces the
+    correlated errors real multi-sensor deployments exhibit (a sloppy
+    window is hard for every sensor at once).
+
+    Attributes
+    ----------
+    amplitude_scale / frequency_scale:
+        Multiplicative deviations from the subject's nominal movement.
+    """
+
+    amplitude_scale: float = 1.0
+    frequency_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude_scale <= 0 or self.frequency_scale <= 0:
+            raise DatasetError("style scales must be positive")
+
+    @staticmethod
+    def sample(
+        rng: np.random.Generator,
+        *,
+        amplitude_sigma: float = 0.25,
+        frequency_sigma: float = 0.06,
+    ) -> "StyleWobble":
+        """Draw one wobble (log-normal, mean-one scales)."""
+        return StyleWobble(
+            amplitude_scale=float(np.exp(rng.normal(0.0, amplitude_sigma))),
+            frequency_scale=float(np.exp(rng.normal(0.0, frequency_sigma))),
+        )
+
+#: Fixed per-axis phase offsets: axes of one rigid segment move with a
+#: stable relative phase (e.g. vertical acceleration leads the pitch).
+_AXIS_PHASE = np.array([0.0, 1.25, 2.1, 0.6, 1.9, 2.8])
+
+
+class SignalSynthesizer:
+    """Produces labeled IMU windows from a :class:`SignatureTable`.
+
+    Parameters
+    ----------
+    signatures:
+        Calibrated table from :func:`~repro.datasets.profiles.mhealth_signatures`
+        or :func:`~repro.datasets.profiles.pamap2_signatures`.
+    sample_rate_hz:
+        IMU sampling rate; both real datasets use 50 Hz.
+    window_size:
+        Samples per window (128 at 50 Hz = 2.56 s, the paper's regime of
+        "hundreds of milliseconds to seconds" per activity bout).
+    """
+
+    def __init__(
+        self,
+        signatures: SignatureTable,
+        *,
+        sample_rate_hz: float = 50.0,
+        window_size: int = 128,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise DatasetError(f"sample_rate_hz must be positive, got {sample_rate_hz}")
+        if window_size < 8:
+            raise DatasetError(f"window_size must be >= 8, got {window_size}")
+        self.signatures = signatures
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.window_size = int(window_size)
+        self._time = np.arange(self.window_size) / self.sample_rate_hz
+
+    @property
+    def window_duration_s(self) -> float:
+        """Length of one window in seconds."""
+        return self.window_size / self.sample_rate_hz
+
+    def window(
+        self,
+        activity: Activity,
+        location: BodyLocation,
+        subject: Optional[SubjectProfile] = None,
+        seed: SeedLike = None,
+        *,
+        style: Optional[StyleWobble] = None,
+    ) -> np.ndarray:
+        """One window, shape ``(N_CHANNELS, window_size)``, float32.
+
+        Pass the *same* ``style`` for every location of one time window
+        to model the shared execution wobble (see :class:`StyleWobble`);
+        ``None`` draws an independent wobble per call (fine for
+        training data, wrong for simulating one instant on a body).
+        """
+        return self.batch(
+            activity, location, count=1, subject=subject, seed=seed, style=style
+        )[0]
+
+    def batch(
+        self,
+        activity: Activity,
+        location: BodyLocation,
+        count: int,
+        subject: Optional[SubjectProfile] = None,
+        seed: SeedLike = None,
+        *,
+        style: Optional[StyleWobble] = None,
+    ) -> np.ndarray:
+        """``count`` windows, shape ``(count, N_CHANNELS, window_size)``."""
+        if count < 1:
+            raise DatasetError(f"count must be >= 1, got {count}")
+        rng = as_generator(seed)
+        subject = subject or SubjectProfile.canonical()
+        signature = self.signatures.signature(location, activity)
+        noise_sigma = self.signatures.noise(location) * subject.noise_factor
+
+        windows = np.empty((count, N_CHANNELS, self.window_size), dtype=np.float32)
+        for index in range(count):
+            wobble = style if style is not None else StyleWobble.sample(rng)
+            windows[index] = self._one_window(
+                signature, subject, noise_sigma, wobble, rng
+            )
+        return windows
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _one_window(
+        self,
+        signature: ActivitySignature,
+        subject: SubjectProfile,
+        noise_sigma: float,
+        style: StyleWobble,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        jitter = signature.jitter
+        freq = (
+            signature.frequency_hz
+            * subject.frequency_scale
+            * style.frequency_scale
+            * float(np.exp(rng.normal(0.0, 0.03 + 0.25 * jitter)))
+        )
+        amp_scale = (
+            subject.amplitude_scale
+            * style.amplitude_scale
+            * float(np.exp(rng.normal(0.0, jitter)))
+        )
+        window_phase = float(rng.uniform(0.0, 2.0 * np.pi)) + subject.phase_offset
+
+        amplitudes = np.concatenate(
+            [np.asarray(signature.accel_amplitude), np.asarray(signature.gyro_amplitude)]
+        )
+        gravity = np.concatenate([np.asarray(signature.gravity), np.zeros(3)])
+
+        # Periodic component: harmonic series per channel.
+        signal = np.tile(gravity[:, None], (1, self.window_size)).astype(np.float64)
+        phases = _AXIS_PHASE[:, None] + window_phase
+        omega_t = 2.0 * np.pi * freq * self._time[None, :]
+        for order, weight in enumerate(signature.harmonics, start=1):
+            if weight <= 0:
+                continue
+            signal += (
+                amplitudes[:, None]
+                * amp_scale
+                * weight
+                * np.sin(order * omega_t + order * phases)
+            )
+
+        # Impact spikes at each footfall (decaying half-sine bursts on the
+        # accelerometer channels only).
+        if signature.impact > 0:
+            signal[:3] += self._impact_train(signature.impact * amp_scale, freq, rng)
+
+        # Per-channel subject gains and white sensor noise.
+        signal *= np.asarray(subject.channel_gains)[:, None]
+        if noise_sigma > 0:
+            signal += rng.normal(0.0, noise_sigma, size=signal.shape)
+        return signal.astype(np.float32)
+
+    def _impact_train(
+        self, amplitude: float, freq: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sharp decaying impacts once per period, on 3 accel axes."""
+        impacts = np.zeros((3, self.window_size))
+        period_samples = max(int(self.sample_rate_hz / max(freq, 1e-3)), 2)
+        burst_len = max(period_samples // 6, 2)
+        decay = np.exp(-np.linspace(0.0, 4.0, burst_len))
+        start = int(rng.integers(0, period_samples))
+        direction = np.array([0.3, 1.0, 0.35])
+        while start < self.window_size:
+            stop = min(start + burst_len, self.window_size)
+            scale = amplitude * float(np.exp(rng.normal(0.0, 0.2)))
+            impacts[:, start:stop] += direction[:, None] * scale * decay[: stop - start]
+            start += period_samples
+        return impacts

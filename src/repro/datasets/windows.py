@@ -1,0 +1,53 @@
+"""Window bookkeeping helpers.
+
+The whole system is discretized into fixed-length windows: the IMU
+buffers one window of samples, then (if scheduled and energized) the node
+runs one inference on it.  These helpers convert between continuous time
+and window indices.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def window_count(duration_s: float, window_duration_s: float) -> int:
+    """How many whole windows fit in ``duration_s``."""
+    check_positive("duration_s", duration_s)
+    check_positive("window_duration_s", window_duration_s)
+    return int(duration_s // window_duration_s)
+
+
+def window_start_times(n_windows: int, window_duration_s: float) -> np.ndarray:
+    """Start time (seconds) of each of ``n_windows`` windows."""
+    check_positive_int("n_windows", n_windows)
+    check_positive("window_duration_s", window_duration_s)
+    return np.arange(n_windows) * window_duration_s
+
+
+def window_index_at(time_s: float, window_duration_s: float) -> int:
+    """The window index containing time ``time_s`` (>= 0)."""
+    check_positive("window_duration_s", window_duration_s)
+    if time_s < 0:
+        raise ValueError(f"time_s must be >= 0, got {time_s}")
+    return int(time_s // window_duration_s)
+
+
+def slice_windows(samples: np.ndarray, window_size: int, hop: int) -> List[np.ndarray]:
+    """Slice a long (channels, time) recording into windows.
+
+    Returns every full window starting at multiples of ``hop``.
+    """
+    check_positive_int("window_size", window_size)
+    check_positive_int("hop", hop)
+    if samples.ndim != 2:
+        raise ValueError(f"samples must be (channels, time), got shape {samples.shape}")
+    total = samples.shape[1]
+    return [
+        samples[:, start : start + window_size]
+        for start in range(0, total - window_size + 1, hop)
+    ]

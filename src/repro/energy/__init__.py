@@ -1,0 +1,33 @@
+"""Energy-harvesting substrate.
+
+The paper powers each sensor node from harvested WiFi RF energy using a
+real office power trace (from ResIRCA, HPCA'20) and a non-volatile
+processor (NVP) that preserves inference progress across power failures.
+This package simulates that stack:
+
+* :mod:`repro.energy.traces` — Markov-modulated bursty RF power traces
+  (quiet/active/burst office states, log-normal fading, per-location
+  gain, correlated across nodes sharing one office);
+* :mod:`repro.energy.harvester` — harvester front-end (efficiency, gain);
+* :mod:`repro.energy.storage` — capacitor energy buffer with leakage;
+* :mod:`repro.energy.nvp` — intermittent compute with checkpointing;
+* :mod:`repro.energy.budget` — power-budget helpers for pruning.
+"""
+
+from repro.energy.budget import average_power_budget, inference_energy_budget
+from repro.energy.harvester import Harvester
+from repro.energy.nvp import NonVolatileProcessor, TaskState
+from repro.energy.storage import Capacitor
+from repro.energy.traces import OfficeState, PowerTrace, PowerTraceGenerator
+
+__all__ = [
+    "PowerTrace",
+    "PowerTraceGenerator",
+    "OfficeState",
+    "Harvester",
+    "Capacitor",
+    "NonVolatileProcessor",
+    "TaskState",
+    "average_power_budget",
+    "inference_energy_budget",
+]

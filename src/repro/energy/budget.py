@@ -1,0 +1,58 @@
+"""Power-budget helpers for energy-aware pruning.
+
+Baseline-2 of the paper prunes each DNN "to fit the average harvested
+power budget" (§IV-C): with one inference per window, the per-inference
+energy budget is the trace's average power times the window duration.
+The paper also notes Origin may *relax* this budget to the average power
+requirement of the extended round-robin policy in use — with an RR
+cycle of length ``n`` slots, a node computes during 1 of every ``n``
+slots and may spend ``n`` windows' worth of harvest on one inference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.energy.traces import PowerTrace
+from repro.errors import EnergyModelError
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def average_power_budget(traces: Sequence[PowerTrace]) -> float:
+    """Mean harvested power (watts) across one or more traces."""
+    if not traces:
+        raise EnergyModelError("need at least one trace")
+    return sum(trace.average_power_w for trace in traces) / len(traces)
+
+
+def inference_energy_budget(
+    average_power_w: float,
+    window_duration_s: float,
+    *,
+    rr_cycle_slots: int = 1,
+    duty_nodes: int = 1,
+) -> float:
+    """Per-inference joule budget for pruning.
+
+    Parameters
+    ----------
+    average_power_w:
+        Average harvested power of the node's trace.
+    window_duration_s:
+        Scheduling-slot (window) duration.
+    rr_cycle_slots:
+        Slots per ER-r cycle; with ``rr_cycle_slots > 1`` the budget is
+        relaxed because each node computes less often (paper §III-D).
+    duty_nodes:
+        How many of the cycle's compute slots belong to this node
+        (1 for the standard 3-node deployment).
+    """
+    check_positive("average_power_w", average_power_w)
+    check_positive("window_duration_s", window_duration_s)
+    check_positive_int("rr_cycle_slots", rr_cycle_slots)
+    check_positive_int("duty_nodes", duty_nodes)
+    if duty_nodes > rr_cycle_slots:
+        raise EnergyModelError(
+            f"duty_nodes ({duty_nodes}) cannot exceed rr_cycle_slots ({rr_cycle_slots})"
+        )
+    return average_power_w * window_duration_s * rr_cycle_slots / duty_nodes

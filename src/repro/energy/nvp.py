@@ -1,0 +1,151 @@
+"""Non-volatile processor (NVP) intermittent compute model.
+
+The paper's compute node (from ResIRCA, HPCA'20) checkpoints
+architectural state to non-volatile memory, so an inference interrupted
+by a power failure resumes instead of restarting.  This model tracks one
+task's *work energy*: each execution burst converts available capacitor
+energy into progress, minus a checkpoint overhead fraction; the task
+completes when cumulative useful work reaches the task's total energy.
+
+A volatile (non-NVP) node is the special case ``volatile=True``: an
+interrupted task loses all progress — that is the hardware of the
+paper's Fig. 1 motivation study before NVPs are brought in.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.utils.validation import check_fraction, check_positive
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of the single in-flight task."""
+
+    IDLE = "idle"
+    IN_PROGRESS = "in_progress"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class BurstOutcome:
+    """Result of one execution burst."""
+
+    consumed_j: float
+    progressed_j: float
+    completed: bool
+
+
+class NonVolatileProcessor:
+    """Intermittent execution engine for one task at a time.
+
+    Parameters
+    ----------
+    checkpoint_overhead:
+        Fraction of consumed energy spent on NVM checkpointing rather
+        than useful work (0 for an ideal NVP).
+    volatile:
+        If true, progress is lost whenever a burst ends without
+        completing the task (classic volatile MCU).
+    """
+
+    def __init__(self, checkpoint_overhead: float = 0.05, volatile: bool = False) -> None:
+        check_fraction("checkpoint_overhead", checkpoint_overhead)
+        if checkpoint_overhead >= 1.0:
+            raise SimulationError("checkpoint_overhead must be < 1")
+        self.checkpoint_overhead = float(checkpoint_overhead)
+        self.volatile = bool(volatile)
+        self._total_work_j: Optional[float] = None
+        self._done_work_j = 0.0
+        self._state = TaskState.IDLE
+        self._completed_tasks = 0
+        self._aborted_tasks = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> TaskState:
+        """Current task state."""
+        return self._state
+
+    @property
+    def completed_tasks(self) -> int:
+        """Tasks finished since construction."""
+        return self._completed_tasks
+
+    @property
+    def aborted_tasks(self) -> int:
+        """Tasks abandoned via :meth:`abort`."""
+        return self._aborted_tasks
+
+    @property
+    def remaining_work_j(self) -> float:
+        """Useful joules still required to finish the in-flight task."""
+        if self._state is not TaskState.IN_PROGRESS:
+            return 0.0
+        return self._total_work_j - self._done_work_j
+
+    @property
+    def progress_fraction(self) -> float:
+        """Completed fraction of the in-flight task (0 when idle)."""
+        if self._state is not TaskState.IN_PROGRESS or not self._total_work_j:
+            return 0.0
+        return self._done_work_j / self._total_work_j
+
+    # ------------------------------------------------------------------
+
+    def start_task(self, total_work_j: float) -> None:
+        """Begin a new task requiring ``total_work_j`` of useful work."""
+        check_positive("total_work_j", total_work_j)
+        if self._state is TaskState.IN_PROGRESS:
+            raise SimulationError("a task is already in progress; abort or finish it")
+        self._total_work_j = float(total_work_j)
+        self._done_work_j = 0.0
+        self._state = TaskState.IN_PROGRESS
+
+    def execute_burst(self, available_j: float) -> BurstOutcome:
+        """Run with ``available_j`` of energy; returns what happened.
+
+        Consumes at most what the remaining work (plus checkpoint
+        overhead) requires.  On a volatile node, a burst that does not
+        finish the task wipes its progress.
+        """
+        if self._state is not TaskState.IN_PROGRESS:
+            raise SimulationError("no task in progress")
+        if available_j < 0:
+            raise SimulationError(f"available_j must be >= 0, got {available_j}")
+
+        useful_fraction = 1.0 - self.checkpoint_overhead
+        needed_j = self.remaining_work_j / useful_fraction
+        consumed = min(available_j, needed_j)
+        progressed = consumed * useful_fraction
+        self._done_work_j += progressed
+
+        if self._done_work_j >= self._total_work_j - 1e-15:
+            self._state = TaskState.COMPLETED
+            self._completed_tasks += 1
+            self._total_work_j = None
+            self._done_work_j = 0.0
+            return BurstOutcome(consumed, progressed, True)
+
+        if self.volatile:
+            # The burst ends in a power failure; everything is lost.
+            self._done_work_j = 0.0
+        return BurstOutcome(consumed, progressed, False)
+
+    def abort(self) -> None:
+        """Abandon the in-flight task (e.g. its input window expired)."""
+        if self._state is TaskState.IN_PROGRESS:
+            self._aborted_tasks += 1
+        self._total_work_j = None
+        self._done_work_j = 0.0
+        self._state = TaskState.IDLE
+
+    def acknowledge_completion(self) -> None:
+        """Return to IDLE after a completion has been consumed."""
+        if self._state is not TaskState.COMPLETED:
+            raise SimulationError("no completed task to acknowledge")
+        self._state = TaskState.IDLE

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime simulation
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class ModelError(ReproError, RuntimeError):
+    """A neural-network model was used incorrectly (shape mismatch,
+    predict before build, load of an incompatible checkpoint, ...)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset request could not be satisfied (unknown activity,
+    empty split, window longer than the recording, ...)."""
+
+
+class EnergyModelError(ReproError, ValueError):
+    """An energy-model computation received out-of-domain inputs."""
+
+
+class SchedulingError(ReproError, RuntimeError):
+    """A scheduling policy produced or received an invalid decision."""

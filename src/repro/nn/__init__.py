@@ -1,0 +1,68 @@
+"""A from-scratch numpy neural-network library.
+
+The paper trains three small per-location CNNs with Keras; this package
+provides everything needed to do the same offline: layers with exact
+analytic gradients, losses, optimizers, a trainer, metrics, per-layer
+energy modelling (MCU-class cost constants) and the energy-aware channel
+pruning used to build the paper's Baseline-2 models.
+
+Typical use::
+
+    from repro.nn import build_har_cnn, Trainer, Adam, CrossEntropyLoss
+
+    model = build_har_cnn(n_channels=6, window=128, n_classes=6, seed=0)
+    trainer = Trainer(model, CrossEntropyLoss(), Adam(learning_rate=1e-3))
+    history = trainer.fit(X_train, y_train, epochs=30, batch_size=32, seed=1)
+"""
+
+from repro.nn.layers import (
+    BatchNorm1D,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool1D,
+    Layer,
+    MaxPool1D,
+    ReLU,
+)
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.metrics import accuracy, confusion_matrix, macro_f1, per_class_accuracy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.training import Trainer, TrainingHistory
+from repro.nn.energy_model import EnergyCostModel, LayerEnergy, estimate_inference_energy
+from repro.nn.pruning import EnergyAwarePruner, PruningResult
+from repro.nn.architectures import build_har_cnn, har_architecture_for
+from repro.nn.serialization import load_model_weights, save_model_weights
+
+__all__ = [
+    "Layer",
+    "Conv1D",
+    "Dense",
+    "MaxPool1D",
+    "GlobalAvgPool1D",
+    "ReLU",
+    "BatchNorm1D",
+    "Dropout",
+    "Flatten",
+    "CrossEntropyLoss",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "Trainer",
+    "TrainingHistory",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "macro_f1",
+    "EnergyCostModel",
+    "LayerEnergy",
+    "estimate_inference_energy",
+    "EnergyAwarePruner",
+    "PruningResult",
+    "build_har_cnn",
+    "har_architecture_for",
+    "save_model_weights",
+    "load_model_weights",
+]

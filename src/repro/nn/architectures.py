@@ -1,0 +1,118 @@
+"""Per-location HAR CNN factories.
+
+The paper designs "three different smaller DNNs that work on their
+individual data" (§IV-B), following Ha & Choi (IJCNN'16) and Rueda et
+al.: small 1-D CNNs over fixed IMU windows.  Each body location gets a
+slightly different architecture — kernel widths and channel counts tuned
+to the motion dynamics seen at that placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.datasets.body import BodyLocation
+from repro.errors import ModelError
+from repro.nn.layers import Conv1D, Dense, Dropout, Flatten, MaxPool1D, ReLU
+from repro.nn.model import Sequential
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+@dataclass(frozen=True)
+class HARArchitecture:
+    """Hyperparameters of one per-location CNN."""
+
+    conv_filters: Tuple[int, ...] = (16, 24)
+    kernel_sizes: Tuple[int, ...] = (7, 5)
+    pool_sizes: Tuple[int, ...] = (4, 2)
+    dense_units: int = 48
+    dropout_rate: float = 0.3
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.conv_filters), len(self.kernel_sizes), len(self.pool_sizes)}
+        if len(lengths) != 1:
+            raise ModelError(
+                "conv_filters, kernel_sizes and pool_sizes must have equal length"
+            )
+        if any(f < 1 for f in self.conv_filters) or any(k < 1 for k in self.kernel_sizes):
+            raise ModelError("filters and kernels must be >= 1")
+        if self.dense_units < 1:
+            raise ModelError("dense_units must be >= 1")
+
+    def scaled(self, width_scale: float) -> "HARArchitecture":
+        """Scale every width by ``width_scale`` (>= such that >=2 remain)."""
+        if width_scale <= 0:
+            raise ModelError(f"width_scale must be positive, got {width_scale}")
+        return HARArchitecture(
+            conv_filters=tuple(max(int(round(f * width_scale)), 2) for f in self.conv_filters),
+            kernel_sizes=self.kernel_sizes,
+            pool_sizes=self.pool_sizes,
+            dense_units=max(int(round(self.dense_units * width_scale)), 4),
+            dropout_rate=self.dropout_rate,
+        )
+
+
+#: The ankle sees the richest dynamics, so it gets the widest network;
+#: the chest uses longer kernels (slower torso oscillation); the wrist
+#: model is the smallest (weakest, noisiest signal).
+_LOCATION_ARCHITECTURES = {
+    BodyLocation.LEFT_ANKLE: HARArchitecture(
+        conv_filters=(20, 28), kernel_sizes=(7, 5), pool_sizes=(4, 2), dense_units=56
+    ),
+    BodyLocation.CHEST: HARArchitecture(
+        conv_filters=(18, 24), kernel_sizes=(9, 5), pool_sizes=(4, 2), dense_units=48
+    ),
+    BodyLocation.RIGHT_WRIST: HARArchitecture(
+        conv_filters=(16, 22), kernel_sizes=(7, 5), pool_sizes=(4, 2), dense_units=44
+    ),
+}
+
+
+def har_architecture_for(location: BodyLocation) -> HARArchitecture:
+    """The architecture assigned to a body location."""
+    try:
+        return _LOCATION_ARCHITECTURES[location]
+    except KeyError as error:  # pragma: no cover - enum is exhaustive
+        raise ModelError(f"no architecture registered for {location}") from error
+
+
+def build_har_cnn(
+    n_channels: int,
+    window: int,
+    n_classes: int,
+    *,
+    architecture: Optional[HARArchitecture] = None,
+    seed: SeedLike = None,
+    name: str = "har-cnn",
+) -> Sequential:
+    """Build (and shape-infer) one HAR CNN.
+
+    The stack is ``[Conv1D -> ReLU -> MaxPool1D]*n -> Flatten ->
+    Dense -> ReLU -> Dropout -> Dense(n_classes)``, returning logits.
+    """
+    if n_channels < 1 or window < 8 or n_classes < 2:
+        raise ModelError(
+            f"invalid input spec: channels={n_channels}, window={window}, "
+            f"classes={n_classes}"
+        )
+    arch = architecture or HARArchitecture()
+    n_stages = len(arch.conv_filters)
+    rngs = spawn_generators(seed, n_stages + 2)
+
+    layers = []
+    for stage, (filters, kernel, pool) in enumerate(
+        zip(arch.conv_filters, arch.kernel_sizes, arch.pool_sizes)
+    ):
+        layers.append(Conv1D(filters, kernel, seed=rngs[stage], name=f"conv{stage + 1}"))
+        layers.append(ReLU(name=f"relu{stage + 1}"))
+        layers.append(MaxPool1D(pool, name=f"pool{stage + 1}"))
+    layers.append(Flatten(name="flatten"))
+    layers.append(Dense(arch.dense_units, seed=rngs[n_stages], name="dense1"))
+    layers.append(ReLU(name="relu_dense"))
+    layers.append(Dropout(arch.dropout_rate, seed=rngs[n_stages + 1], name="dropout"))
+    layers.append(Dense(n_classes, seed=rngs[n_stages + 1], name="logits"))
+
+    model = Sequential(layers, name=name)
+    model.build((n_channels, window))
+    return model

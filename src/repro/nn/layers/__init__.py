@@ -1,0 +1,22 @@
+"""Neural-network layers with analytic forward/backward passes."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.activations import ReLU
+from repro.nn.layers.batchnorm import BatchNorm1D
+from repro.nn.layers.conv import Conv1D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.pooling import GlobalAvgPool1D, MaxPool1D
+
+__all__ = [
+    "Layer",
+    "ReLU",
+    "BatchNorm1D",
+    "Conv1D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool1D",
+    "MaxPool1D",
+]

@@ -1,0 +1,40 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers.base import Layer, Shape
+
+
+class ReLU(Layer):
+    """Rectified linear unit, shape-preserving."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._cached_mask: Optional[np.ndarray] = None
+
+    def _build(self, input_shape: Shape) -> Shape:
+        return tuple(input_shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        mask = x > 0
+        if training:
+            self._cached_mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_mask is None:
+            raise ModelError(f"backward() before forward(training=True) in {self.name!r}")
+        return grad_output * self._cached_mask
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)

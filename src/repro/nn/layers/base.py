@@ -1,0 +1,102 @@
+"""Layer protocol.
+
+Shapes exclude the batch dimension: a 6-channel, 128-sample IMU window is
+``(6, 128)``, and a dense feature vector of width 64 is ``(64,)``.
+Layers are built lazily — :meth:`Layer.build` runs on first use (or when
+a :class:`~repro.nn.model.Sequential` is built) and returns the output
+shape, letting models infer shapes end to end.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+Shape = Tuple[int, ...]
+
+
+class Layer(ABC):
+    """Base class for all layers.
+
+    Subclasses implement :meth:`build`, :meth:`forward` and
+    :meth:`backward`; parameterized layers also expose ``params`` and
+    ``grads`` dictionaries with matching keys, which optimizers update
+    in place.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name or type(self).__name__
+        self.input_shape: Optional[Shape] = None
+        self.output_shape: Optional[Shape] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def built(self) -> bool:
+        """Whether :meth:`build` has run."""
+        return self.output_shape is not None
+
+    def build(self, input_shape: Shape) -> Shape:
+        """Allocate parameters for ``input_shape``; return output shape."""
+        self.input_shape = tuple(input_shape)
+        self.output_shape = self._build(self.input_shape)
+        return self.output_shape
+
+    @abstractmethod
+    def _build(self, input_shape: Shape) -> Shape:
+        """Subclass hook: allocate parameters, return the output shape."""
+
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch ``x``.
+
+        When ``training`` is true the layer must cache whatever its
+        :meth:`backward` needs.
+        """
+
+    @abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Given dL/d(output), accumulate parameter grads and return
+        dL/d(input).  Only valid after a ``forward(..., training=True)``."""
+
+    # ------------------------------------------------------------------
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trainable parameters (empty for stateless layers)."""
+        return {}
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients matching :attr:`params` keys."""
+        return {}
+
+    def n_params(self) -> int:
+        """Total trainable scalar count."""
+        return sum(int(np.prod(p.shape)) for p in self.params.values())
+
+    # ------------------------------------------------------------------
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise ModelError(f"layer {self.name!r} used before build()")
+
+    def _check_input(self, x: np.ndarray) -> None:
+        self._require_built()
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise ModelError(
+                f"layer {self.name!r} expected input shape {self.input_shape}, "
+                f"got {tuple(x.shape[1:])}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"in={self.input_shape}, out={self.output_shape})"
+        )

@@ -1,0 +1,107 @@
+"""Batch normalization over channels.
+
+Works on both ``(B, C, L)`` conv activations (normalizing each channel
+over batch and time) and ``(B, F)`` dense activations (normalizing each
+feature over the batch).  Keeps running statistics for inference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers.base import Layer, Shape
+
+
+class BatchNorm1D(Layer):
+    """Batch normalization with learnable scale/shift.
+
+    Parameters
+    ----------
+    momentum:
+        EMA weight of the *old* running statistic (Keras convention).
+    epsilon:
+        Variance floor for numerical stability.
+    """
+
+    def __init__(
+        self,
+        momentum: float = 0.9,
+        epsilon: float = 1e-5,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        if not 0.0 <= momentum < 1.0:
+            raise ModelError(f"momentum must be in [0, 1), got {momentum}")
+        if epsilon <= 0:
+            raise ModelError(f"epsilon must be positive, got {epsilon}")
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.gamma: Optional[np.ndarray] = None
+        self.beta: Optional[np.ndarray] = None
+        self.dgamma: Optional[np.ndarray] = None
+        self.dbeta: Optional[np.ndarray] = None
+        self.running_mean: Optional[np.ndarray] = None
+        self.running_var: Optional[np.ndarray] = None
+        self._cache: Optional[tuple] = None
+
+    def _build(self, input_shape: Shape) -> Shape:
+        if len(input_shape) not in (1, 2):
+            raise ModelError(f"BatchNorm1D expects (C, L) or (F,), got {input_shape}")
+        width = input_shape[0]
+        self.gamma = np.ones(width, dtype=np.float64)
+        self.beta = np.zeros(width, dtype=np.float64)
+        self.dgamma = np.zeros_like(self.gamma)
+        self.dbeta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(width, dtype=np.float64)
+        self.running_var = np.ones(width, dtype=np.float64)
+        return tuple(input_shape)
+
+    # ------------------------------------------------------------------
+
+    def _axes(self, x: np.ndarray) -> tuple:
+        return (0, 2) if x.ndim == 3 else (0,)
+
+    def _expand(self, stat: np.ndarray, x: np.ndarray) -> np.ndarray:
+        return stat[None, :, None] if x.ndim == 3 else stat[None, :]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        axes = self._axes(x)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            inv_std = 1.0 / np.sqrt(var + self.epsilon)
+            x_hat = (x - self._expand(mean, x)) * self._expand(inv_std, x)
+            self._cache = (x_hat, inv_std, axes, x.shape)
+        else:
+            inv_std = 1.0 / np.sqrt(self.running_var + self.epsilon)
+            x_hat = (x - self._expand(self.running_mean, x)) * self._expand(inv_std, x)
+        return self._expand(self.gamma, x) * x_hat + self._expand(self.beta, x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError(f"backward() before forward(training=True) in {self.name!r}")
+        x_hat, inv_std, axes, shape = self._cache
+        count = np.prod([shape[axis] for axis in axes])
+        self.dgamma = (grad_output * x_hat).sum(axis=axes)
+        self.dbeta = grad_output.sum(axis=axes)
+        g = grad_output * self._expand(self.gamma, grad_output)
+        term1 = g
+        term2 = self._expand(g.sum(axis=axes) / count, grad_output)
+        term3 = x_hat * self._expand((g * x_hat).sum(axis=axes) / count, grad_output)
+        return self._expand(inv_std, grad_output) * (term1 - term2 - term3)
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        self._require_built()
+        return {"gamma": self.gamma, "beta": self.beta}
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        self._require_built()
+        return {"gamma": self.dgamma, "beta": self.dbeta}

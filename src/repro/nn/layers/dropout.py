@@ -1,0 +1,44 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers.base import Layer, Shape
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Dropout(Layer):
+    """Randomly zero activations during training; identity at inference.
+
+    Uses inverted scaling so inference needs no correction.
+    """
+
+    def __init__(self, rate: float, seed: SeedLike = None, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ModelError(f"rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = as_generator(seed)
+        self._cached_mask: Optional[np.ndarray] = None
+
+    def _build(self, input_shape: Shape) -> Shape:
+        return tuple(input_shape)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        if not training or self.rate == 0.0:
+            self._cached_mask = None if not training else np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._cached_mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_mask is None:
+            raise ModelError(f"backward() before forward(training=True) in {self.name!r}")
+        return grad_output * self._cached_mask

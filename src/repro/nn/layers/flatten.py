@@ -1,0 +1,40 @@
+"""Flatten layer: (B, C, L) -> (B, C*L), channel-major.
+
+Channel-major ordering matters to the pruner: the features of conv
+channel ``c`` occupy the contiguous slice ``[c*L, (c+1)*L)`` of the flat
+vector, so removing a channel removes a contiguous block of dense rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers.base import Layer, Shape
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions into one."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._cached_shape: Optional[tuple] = None
+
+    def _build(self, input_shape: Shape) -> Shape:
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        if training:
+            self._cached_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_shape is None:
+            raise ModelError(f"backward() before forward(training=True) in {self.name!r}")
+        return grad_output.reshape(self._cached_shape)

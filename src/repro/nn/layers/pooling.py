@@ -1,0 +1,88 @@
+"""Pooling layers for (batch, channels, length) inputs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers.base import Layer, Shape
+
+
+class MaxPool1D(Layer):
+    """Non-overlapping temporal max pooling.
+
+    Trailing samples that do not fill a whole pool window are dropped
+    (floor division), matching the common framework default.
+    """
+
+    def __init__(self, pool_size: int, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        if pool_size < 1:
+            raise ModelError(f"pool_size must be >= 1, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self._cached_argmax: Optional[np.ndarray] = None
+        self._cached_shape: Optional[tuple] = None
+
+    def _build(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 2:
+            raise ModelError(f"MaxPool1D expects (channels, length), got {input_shape}")
+        channels, length = input_shape
+        if length < self.pool_size:
+            raise ModelError(
+                f"input length {length} shorter than pool_size {self.pool_size}"
+            )
+        return (channels, length // self.pool_size)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        batch, channels, length = x.shape
+        out_len = length // self.pool_size
+        trimmed = x[:, :, : out_len * self.pool_size]
+        blocks = trimmed.reshape(batch, channels, out_len, self.pool_size)
+        if training:
+            self._cached_argmax = blocks.argmax(axis=3)
+            self._cached_shape = x.shape
+        return blocks.max(axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_argmax is None:
+            raise ModelError(f"backward() before forward(training=True) in {self.name!r}")
+        batch, channels, length = self._cached_shape
+        out_len = grad_output.shape[2]
+        grad_blocks = np.zeros(
+            (batch, channels, out_len, self.pool_size), dtype=np.float64
+        )
+        b_idx, c_idx, l_idx = np.indices(self._cached_argmax.shape)
+        grad_blocks[b_idx, c_idx, l_idx, self._cached_argmax] = grad_output
+        grad_input = np.zeros((batch, channels, length), dtype=np.float64)
+        grad_input[:, :, : out_len * self.pool_size] = grad_blocks.reshape(
+            batch, channels, -1
+        )
+        return grad_input
+
+
+class GlobalAvgPool1D(Layer):
+    """Average over the temporal axis: ``(B, C, L) -> (B, C)``."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name)
+        self._cached_length: Optional[int] = None
+
+    def _build(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 2:
+            raise ModelError(f"GlobalAvgPool1D expects (channels, length), got {input_shape}")
+        return (input_shape[0],)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._check_input(x)
+        if training:
+            self._cached_length = x.shape[2]
+        return x.mean(axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_length is None:
+            raise ModelError(f"backward() before forward(training=True) in {self.name!r}")
+        length = self._cached_length
+        return np.repeat(grad_output[:, :, None], length, axis=2) / length

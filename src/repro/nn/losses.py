@@ -1,0 +1,69 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers.activations import softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    Operates on raw logits; combining softmax and the log-likelihood
+    keeps the gradient the numerically benign ``p - onehot``.
+
+    Parameters
+    ----------
+    label_smoothing:
+        Optional smoothing mass spread uniformly over the other classes.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ModelError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        self.label_smoothing = float(label_smoothing)
+        self._cached_probs: Optional[np.ndarray] = None
+        self._cached_targets: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over the batch; caches what backward needs."""
+        if logits.ndim != 2:
+            raise ModelError(f"logits must be (batch, classes), got shape {logits.shape}")
+        targets = np.asarray(targets, dtype=np.int64)
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ModelError(
+                f"targets must be (batch,) ints, got shape {targets.shape}"
+            )
+        n_classes = logits.shape[1]
+        if targets.min() < 0 or targets.max() >= n_classes:
+            raise ModelError("target labels out of range")
+
+        probs = softmax(logits, axis=1)
+        target_dist = self._target_distribution(targets, n_classes)
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        loss = -float((target_dist * log_probs).sum(axis=1).mean())
+        self._cached_probs = probs
+        self._cached_targets = target_dist
+        return loss
+
+    def backward(self) -> np.ndarray:
+        """dL/dlogits for the last :meth:`forward` call."""
+        if self._cached_probs is None:
+            raise ModelError("backward() before forward()")
+        batch = self._cached_probs.shape[0]
+        return (self._cached_probs - self._cached_targets) / batch
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+    def _target_distribution(self, targets: np.ndarray, n_classes: int) -> np.ndarray:
+        one_hot = np.zeros((targets.shape[0], n_classes), dtype=np.float64)
+        one_hot[np.arange(targets.shape[0]), targets] = 1.0
+        if self.label_smoothing == 0.0:
+            return one_hot
+        smooth = self.label_smoothing
+        return one_hot * (1.0 - smooth) + smooth / n_classes

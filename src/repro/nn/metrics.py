@@ -1,0 +1,87 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _check_labels(y_true: np.ndarray, y_pred: np.ndarray) -> tuple:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ModelError(
+            f"labels must be equal-length 1-D arrays, got {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ModelError("labels must be non-empty")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: Optional[int] = None
+) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = true class ``i`` predicted as ``j``."""
+    y_true, y_pred = _check_labels(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def per_class_accuracy(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Recall per class; NaN-free (classes with no samples report 0)."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    totals = matrix.sum(axis=1)
+    correct = np.diag(matrix).astype(np.float64)
+    return np.divide(correct, totals, out=np.zeros(n_classes), where=totals > 0)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    tp = np.diag(matrix).astype(np.float64)
+    fp = matrix.sum(axis=0) - tp
+    fn = matrix.sum(axis=1) - tp
+    precision = np.divide(tp, tp + fp, out=np.zeros(n_classes), where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros(n_classes), where=(tp + fn) > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom, out=np.zeros(n_classes), where=denom > 0)
+    return float(f1.mean())
+
+
+def topk_accuracy(y_true: np.ndarray, probabilities: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose true class is in the top-``k`` probs."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    probs = np.asarray(probabilities, dtype=np.float64)
+    if probs.ndim != 2 or probs.shape[0] != y_true.shape[0]:
+        raise ModelError(
+            f"probabilities must be (n, classes) matching labels, got {probs.shape}"
+        )
+    if not 1 <= k <= probs.shape[1]:
+        raise ModelError(f"k must be in [1, {probs.shape[1]}], got {k}")
+    topk = np.argsort(probs, axis=1)[:, -k:]
+    hits = (topk == y_true[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def accuracy_by_class_report(
+    y_true: np.ndarray, y_pred: np.ndarray, class_names: list
+) -> Dict[str, float]:
+    """``{class name: accuracy}`` plus an ``"overall"`` entry."""
+    per_class = per_class_accuracy(y_true, y_pred, len(class_names))
+    report = {name: float(value) for name, value in zip(class_names, per_class)}
+    report["overall"] = accuracy(y_true, y_pred)
+    return report

@@ -1,0 +1,95 @@
+"""Gradient-descent optimizers.
+
+Optimizers update parameter arrays *in place* (layers hand out live
+references), keyed by ``id(param)`` so per-parameter state survives
+across steps without the layers knowing about the optimizer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.utils.validation import check_non_negative, check_positive
+
+ParamGrad = Tuple[np.ndarray, np.ndarray]
+
+
+class Optimizer(ABC):
+    """Base optimizer."""
+
+    def __init__(self, learning_rate: float) -> None:
+        self.learning_rate = check_positive("learning_rate", learning_rate)
+
+    def step(self, params_and_grads: Iterable[ParamGrad]) -> None:
+        """Apply one update to every ``(param, grad)`` pair."""
+        for param, grad in params_and_grads:
+            if param.shape != grad.shape:
+                raise ModelError(
+                    f"param/grad shape mismatch: {param.shape} vs {grad.shape}"
+                )
+            self._update(param, grad)
+
+    @abstractmethod
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        """Apply the rule to one parameter in place."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0) -> None:
+        super().__init__(learning_rate)
+        self.momentum = check_non_negative("momentum", momentum)
+        if self.momentum >= 1.0:
+            raise ModelError(f"momentum must be < 1, got {momentum}")
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        if self.momentum == 0.0:
+            param -= self.learning_rate * grad
+            return
+        velocity = self._velocity.setdefault(id(param), np.zeros_like(param))
+        velocity *= self.momentum
+        velocity -= self.learning_rate * grad
+        param += velocity
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ModelError(f"betas must be in [0, 1), got {beta1}/{beta2}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = check_positive("epsilon", epsilon)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t: Dict[int, int] = {}
+
+    def _update(self, param: np.ndarray, grad: np.ndarray) -> None:
+        key = id(param)
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        self._t[key] = self._t.get(key, 0) + 1
+        t = self._t[key]
+
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+
+        m_hat = m / (1.0 - self.beta1**t)
+        v_hat = v / (1.0 - self.beta2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,351 @@
+"""Energy-aware structured pruning.
+
+Implements the Baseline-2 recipe of the paper (§IV-C): starting from the
+unpruned per-location CNN (Baseline-1), greedily remove channels/units —
+always from the currently most energy-hungry layer, always the unit with
+the smallest L2 norm — until the model's estimated per-inference energy
+fits a joule budget derived from the average harvested power (the
+approach of Yang et al., CVPR'17, adapted to 1-D CNNs).  An optional
+fine-tuning pass recovers accuracy after surgery.
+
+Pruning is *structural*: a new, genuinely smaller ``Sequential`` is
+rebuilt each step, so the energy model sees the real reduced shapes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.energy_model import EnergyCostModel, estimate_inference_energy, layer_energy
+from repro.nn.layers import (
+    BatchNorm1D,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool1D,
+    Layer,
+    MaxPool1D,
+    ReLU,
+)
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.training import Trainer, TrainingHistory
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class PruneStep:
+    """One unit removal."""
+
+    layer_name: str
+    unit_index: int
+    unit_norm: float
+    energy_after_j: float
+
+
+@dataclass
+class PruningResult:
+    """Outcome of :meth:`EnergyAwarePruner.prune_to_budget`."""
+
+    model: Sequential
+    energy_before_j: float
+    energy_after_j: float
+    budget_j: float
+    steps: List[PruneStep] = field(default_factory=list)
+    finetune_history: Optional[TrainingHistory] = None
+
+    @property
+    def met_budget(self) -> bool:
+        """Whether the final model fits the budget."""
+        return self.energy_after_j <= self.budget_j
+
+    @property
+    def n_removed(self) -> int:
+        """Total units removed."""
+        return len(self.steps)
+
+
+# ---------------------------------------------------------------------------
+# model surgery
+# ---------------------------------------------------------------------------
+
+
+def _layer_seed(layer: Layer) -> int:
+    """A stable per-layer seed so rebuilt models stay deterministic.
+
+    Conv/Dense initializations are overwritten by the saved weights, but
+    the Dropout mask stream is live during fine-tuning — an entropy-
+    seeded generator there would make pruning non-reproducible.
+    """
+    return zlib.crc32(layer.name.encode("utf-8"))
+
+
+def _fresh_layer(layer: Layer, weights: dict) -> Layer:
+    """A new, unbuilt layer matching ``layer`` but sized from ``weights``."""
+    if isinstance(layer, Conv1D):
+        filters = weights["W"].shape[0]
+        return Conv1D(filters, layer.kernel_size, seed=_layer_seed(layer), name=layer.name)
+    if isinstance(layer, Dense):
+        units = weights["W"].shape[1]
+        return Dense(units, seed=_layer_seed(layer), name=layer.name)
+    if isinstance(layer, BatchNorm1D):
+        return BatchNorm1D(layer.momentum, layer.epsilon, name=layer.name)
+    if isinstance(layer, Dropout):
+        return Dropout(layer.rate, seed=_layer_seed(layer), name=layer.name)
+    if isinstance(layer, MaxPool1D):
+        return MaxPool1D(layer.pool_size, name=layer.name)
+    if isinstance(layer, GlobalAvgPool1D):
+        return GlobalAvgPool1D(name=layer.name)
+    if isinstance(layer, ReLU):
+        return ReLU(name=layer.name)
+    if isinstance(layer, Flatten):
+        return Flatten(name=layer.name)
+    raise ModelError(f"pruner cannot rebuild layer type {type(layer).__name__}")
+
+
+def _collect_weights(model: Sequential) -> List[dict]:
+    """Deep copies of every layer's parameter dict (plus BN stats)."""
+    collected = []
+    for layer in model.layers:
+        weights = {key: value.copy() for key, value in layer.params.items()}
+        if isinstance(layer, BatchNorm1D):
+            weights["running_mean"] = layer.running_mean.copy()
+            weights["running_var"] = layer.running_var.copy()
+        collected.append(weights)
+    return collected
+
+
+def _rebuild(model: Sequential, weights: List[dict]) -> Sequential:
+    """A new Sequential with ``weights``' shapes, parameters assigned."""
+    layers = [
+        _fresh_layer(layer, layer_weights)
+        for layer, layer_weights in zip(model.layers, weights)
+    ]
+    rebuilt = Sequential(layers, name=model.name)
+    rebuilt.build(model.input_shape)
+    for layer, layer_weights in zip(rebuilt.layers, weights):
+        for key, value in layer.params.items():
+            incoming = layer_weights[key]
+            if incoming.shape != value.shape:
+                raise ModelError(
+                    f"surgery produced inconsistent shape for {layer.name}.{key}: "
+                    f"{incoming.shape} vs {value.shape}"
+                )
+            value[...] = incoming
+        if isinstance(layer, BatchNorm1D):
+            layer.running_mean[...] = layer_weights["running_mean"]
+            layer.running_var[...] = layer_weights["running_var"]
+    return rebuilt
+
+
+def prune_output_unit(model: Sequential, layer_index: int, unit_index: int) -> Sequential:
+    """Remove output unit ``unit_index`` of layer ``layer_index``.
+
+    Handles the downstream consumer: the next ``Conv1D`` loses an input
+    channel, the next ``Dense`` loses input rows (a contiguous block when
+    a ``Flatten`` sits in between), and any ``BatchNorm1D`` on the way is
+    sliced.  Returns a new model; the input model is untouched.
+    """
+    if not model.built:
+        raise ModelError("model must be built before pruning")
+    target = model.layers[layer_index]
+    if not isinstance(target, (Conv1D, Dense)):
+        raise ModelError(f"layer {target.name!r} is not prunable")
+
+    width = target.filters if isinstance(target, Conv1D) else target.units
+    if not 0 <= unit_index < width:
+        raise ModelError(f"unit {unit_index} out of range for {target.name!r} ({width})")
+    if width <= 1:
+        raise ModelError(f"cannot prune the last unit of {target.name!r}")
+
+    weights = _collect_weights(model)
+    keep = np.delete(np.arange(width), unit_index)
+
+    # Shrink the producing layer.
+    if isinstance(target, Conv1D):
+        weights[layer_index]["W"] = weights[layer_index]["W"][keep]
+    else:
+        weights[layer_index]["W"] = weights[layer_index]["W"][:, keep]
+    weights[layer_index]["b"] = weights[layer_index]["b"][keep]
+
+    # Walk downstream to the consumer.
+    flatten_length: Optional[int] = None
+    for index in range(layer_index + 1, len(model.layers)):
+        layer = model.layers[index]
+        if isinstance(layer, (ReLU, Dropout, MaxPool1D)):
+            continue
+        if isinstance(layer, GlobalAvgPool1D):
+            flatten_length = 1
+            continue
+        if isinstance(layer, BatchNorm1D):
+            for key in ("gamma", "beta", "running_mean", "running_var"):
+                weights[index][key] = weights[index][key][keep]
+            continue
+        if isinstance(layer, Flatten):
+            flatten_length = layer.input_shape[1]
+            continue
+        if isinstance(layer, Conv1D):
+            weights[index]["W"] = weights[index]["W"][:, keep, :]
+            break
+        if isinstance(layer, Dense):
+            if flatten_length is None:
+                row_keep = keep
+            else:
+                rows = np.arange(layer.input_shape[0]).reshape(width, flatten_length)
+                row_keep = rows[keep].reshape(-1)
+            weights[index]["W"] = weights[index]["W"][row_keep]
+            break
+    else:
+        raise ModelError(
+            f"no consumer found downstream of {target.name!r}; refusing to prune "
+            "the output layer"
+        )
+
+    return _rebuild(model, weights)
+
+
+# ---------------------------------------------------------------------------
+# greedy pruner
+# ---------------------------------------------------------------------------
+
+
+def _unit_norms(layer: Layer) -> np.ndarray:
+    """L2 norm of each output unit's weights."""
+    if isinstance(layer, Conv1D):
+        return np.linalg.norm(layer.W.reshape(layer.filters, -1), axis=1)
+    if isinstance(layer, Dense):
+        return np.linalg.norm(layer.W, axis=0)
+    raise ModelError(f"layer {layer.name!r} has no unit norms")
+
+
+class EnergyAwarePruner:
+    """Greedy energy-aware structured pruner.
+
+    Parameters
+    ----------
+    cost_model:
+        Energy constants used to evaluate candidates.
+    min_width:
+        Never shrink a layer below this many output units.
+    finetune_epochs / finetune_lr:
+        Recovery training after pruning (skipped when no data is given).
+    """
+
+    def __init__(
+        self,
+        cost_model: EnergyCostModel = EnergyCostModel(),
+        *,
+        min_width: int = 2,
+        finetune_epochs: int = 4,
+        final_finetune_epochs: int = 12,
+        finetune_every: int = 4,
+        finetune_lr: float = 5e-4,
+    ) -> None:
+        if min_width < 1:
+            raise ModelError(f"min_width must be >= 1, got {min_width}")
+        if finetune_epochs < 0 or final_finetune_epochs < 0:
+            raise ModelError("finetune epoch counts must be >= 0")
+        if finetune_every < 1:
+            raise ModelError(f"finetune_every must be >= 1, got {finetune_every}")
+        self.cost_model = cost_model
+        self.min_width = int(min_width)
+        self.finetune_epochs = int(finetune_epochs)
+        self.final_finetune_epochs = int(final_finetune_epochs)
+        self.finetune_every = int(finetune_every)
+        self.finetune_lr = float(finetune_lr)
+
+    # ------------------------------------------------------------------
+
+    def _prunable_indices(self, model: Sequential) -> List[int]:
+        """Indices of layers whose outputs may shrink (not the logits)."""
+        parametric = [
+            index
+            for index, layer in enumerate(model.layers)
+            if isinstance(layer, (Conv1D, Dense))
+        ]
+        return parametric[:-1]  # final Dense produces class logits
+
+    def _current_width(self, layer: Layer) -> int:
+        return layer.filters if isinstance(layer, Conv1D) else layer.units
+
+    def prune_to_budget(
+        self,
+        model: Sequential,
+        budget_j: float,
+        *,
+        finetune_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        seed: SeedLike = None,
+        max_steps: int = 10_000,
+    ) -> PruningResult:
+        """Prune until the inference energy fits ``budget_j``.
+
+        Fine-tunes on ``finetune_data`` every ``finetune_every``
+        removals (NetAdapt-style iterative recovery) and once more at
+        the end.  Returns the pruned model along with the full step log.
+        Raises if the budget is unreachable even at ``min_width``
+        everywhere.
+        """
+        if budget_j <= 0:
+            raise ModelError(f"budget_j must be positive, got {budget_j}")
+        current = _rebuild(model, _collect_weights(model))  # work on a copy
+        energy_before = estimate_inference_energy(current, self.cost_model)
+        steps: List[PruneStep] = []
+        rng = as_generator(seed)
+
+        def finetune(epochs: int) -> Optional[TrainingHistory]:
+            if finetune_data is None or epochs == 0:
+                return None
+            X, y = finetune_data
+            trainer = Trainer(current, optimizer=Adam(learning_rate=self.finetune_lr))
+            return trainer.fit(X, y, epochs=epochs, batch_size=32, seed=rng)
+
+        energy = energy_before
+        while energy > budget_j and len(steps) < max_steps:
+            candidates = [
+                index
+                for index in self._prunable_indices(current)
+                if self._current_width(current.layers[index]) > self.min_width
+            ]
+            if not candidates:
+                raise ModelError(
+                    f"budget {budget_j * 1e6:.1f} uJ unreachable: all layers at "
+                    f"min_width={self.min_width} with energy {energy * 1e6:.1f} uJ"
+                )
+            # Yang'17: attack the most energy-hungry prunable layer.
+            hungriest = max(
+                candidates,
+                key=lambda index: layer_energy(
+                    current.layers[index], self.cost_model
+                ).energy_j,
+            )
+            norms = _unit_norms(current.layers[hungriest])
+            victim = int(norms.argmin())
+            current = prune_output_unit(current, hungriest, victim)
+            energy = estimate_inference_energy(current, self.cost_model)
+            steps.append(
+                PruneStep(
+                    layer_name=current.layers[hungriest].name,
+                    unit_index=victim,
+                    unit_norm=float(norms[victim]),
+                    energy_after_j=energy,
+                )
+            )
+            if len(steps) % self.finetune_every == 0 and energy > budget_j:
+                finetune(self.finetune_epochs)
+
+        history = finetune(self.final_finetune_epochs) if steps else None
+
+        return PruningResult(
+            model=current,
+            energy_before_j=energy_before,
+            energy_after_j=energy,
+            budget_j=float(budget_j),
+            steps=steps,
+            finetune_history=history,
+        )

@@ -1,0 +1,41 @@
+"""Weight checkpointing.
+
+Architectures are code (factories in :mod:`repro.nn.architectures`), so a
+checkpoint only stores the weight arrays.  ``.npz`` keeps everything in
+one portable file.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.model import Sequential
+
+
+def save_model_weights(model: Sequential, path: str) -> None:
+    """Write all parameters of a built model to ``path`` (``.npz``)."""
+    if not model.built:
+        raise ModelError("cannot save an unbuilt model")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **model.state_dict())
+
+
+def load_model_weights(model: Sequential, path: str) -> Sequential:
+    """Load weights saved by :func:`save_model_weights` into ``model``.
+
+    The model must already be built with the matching architecture;
+    returns the model for chaining.
+    """
+    if not model.built:
+        raise ModelError("build the model before loading weights")
+    if not os.path.exists(path):
+        raise ModelError(f"checkpoint not found: {path}")
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,26 @@
+"""Text renderers that reproduce the paper's figures and tables.
+
+Each function takes the corresponding experiment result object and
+returns the printed series — the benches call these so a bench run's
+captured output *is* the reproduced figure.
+"""
+
+from repro.reporting.figures import (
+    render_fig1_completion,
+    render_fig2_sensor_accuracy,
+    render_fig3_schedules,
+    render_fig4_aas,
+    render_fig5_policies,
+    render_fig6_personalization,
+    render_table1,
+)
+
+__all__ = [
+    "render_fig1_completion",
+    "render_fig2_sensor_accuracy",
+    "render_fig3_schedules",
+    "render_fig4_aas",
+    "render_fig5_policies",
+    "render_fig6_personalization",
+    "render_table1",
+]

@@ -1,0 +1,404 @@
+"""The slot-by-slot EH-WSN HAR simulation.
+
+One scheduling slot = one IMU window (2.56 s by default).  Every slot:
+
+1. the policy's scheduler picks which node (if any) attempts an
+   inference, seeing each node's stored energy and readiness;
+2. active nodes sense the *current* window and run/resume the inference
+   on their NVP with whatever energy their capacitor holds;
+3. completed results (label + variance-of-softmax confidence) go to the
+   host, which recalls every node's last classification and votes;
+4. adaptive runs fold the transmitted confidence into the matrix;
+5. the system's output for the slot is compared against ground truth.
+
+The same harness runs every configuration of the paper's ladder (plain
+ER-r, AAS, AASR, Origin) — only the :class:`~repro.core.policies.PolicySpec`
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.ensemble.confidence import ConfidenceMatrix
+from repro.core.ensemble.voting import MajorityVote, WeightedMajorityVote
+from repro.core.policies import AggregationMode, PolicySpec
+from repro.core.scheduling.base import SchedulingContext
+from repro.datasets.base import HARDataset
+from repro.datasets.body import BodyLocation
+from repro.datasets.markov import MarkovActivityModel
+from repro.datasets.subjects import SubjectProfile
+from repro.datasets.synthesis import StyleWobble
+from repro.energy.harvester import Harvester
+from repro.energy.nvp import NonVolatileProcessor
+from repro.energy.storage import Capacitor
+from repro.energy.traces import PowerTraceGenerator
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.results import ExperimentResult, SlotRecord
+from repro.sim.training import TrainedSensorBundle, TrainingConfig
+from repro.utils.rng import SeedSequenceFactory
+from repro.wsn.comm import CommLink, RadioProfile
+from repro.wsn.host import HostDevice
+from repro.wsn.network import BodyAreaNetwork
+from repro.wsn.node import NodeCosts, SensorNode
+
+WindowTransform = Callable[[np.ndarray], np.ndarray]
+
+#: RF pickup differs by placement: the wrist is usually raised/exposed,
+#: the ankle is low and often shadowed by furniture and the body.
+DEFAULT_NODE_GAINS: Dict[BodyLocation, float] = {
+    BodyLocation.CHEST: 1.0,
+    BodyLocation.RIGHT_WRIST: 1.0,
+    BodyLocation.LEFT_ANKLE: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Deployment-level knobs of the EH-WSN simulation."""
+
+    n_windows: int = 600
+    #: EH nodes use tiny storage: a couple of inferences' worth.  This
+    #: is what makes the scheduling problem real — nodes cannot bank a
+    #: whole burst and coast through quiet periods.
+    capacitor_capacity_j: float = 100e-6
+    capacitor_initial_j: float = 0.0
+    capacitor_leakage_w: float = 1e-6
+    checkpoint_overhead: float = 0.05
+    volatile: bool = False
+    use_pruned_models: bool = True
+    node_gains: Optional[Dict[BodyLocation, float]] = None
+    radio: RadioProfile = field(default_factory=RadioProfile.ble)
+    costs: NodeCosts = field(default_factory=NodeCosts)
+    max_task_age_slots: Optional[int] = None
+    #: Host-side recall expiry: drop remembered votes older than this
+    #: many slots (None = the paper's never-expiring recall).
+    max_recall_age_slots: Optional[int] = None
+    #: Hybrid operation (paper Discussion): a constant battery trickle
+    #: added to every node's harvest.  0 = pure energy harvesting.
+    battery_supplement_w: float = 0.0
+    #: Activity bouts in the deployment scenario last a few minutes
+    #: (the catalog's dwell times model lab-protocol bouts; day-to-day
+    #: activities persist longer, which is the continuity Origin banks on).
+    dwell_scale: float = 3.5
+    trace_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_windows < 1:
+            raise ConfigurationError(f"n_windows must be >= 1, got {self.n_windows}")
+        if self.trace_scale <= 0:
+            raise ConfigurationError(f"trace_scale must be positive, got {self.trace_scale}")
+        if self.battery_supplement_w < 0:
+            raise ConfigurationError(
+                f"battery_supplement_w must be >= 0, got {self.battery_supplement_w}"
+            )
+
+    def gain_for(self, location: BodyLocation) -> float:
+        """RF gain at ``location``."""
+        gains = self.node_gains or DEFAULT_NODE_GAINS
+        return gains.get(location, 1.0)
+
+
+class HARExperiment:
+    """Runs policy specs against one dataset + trained bundle.
+
+    Parameters
+    ----------
+    dataset / bundle:
+        The data and trained models (see :class:`TrainedSensorBundle`).
+    trace_generator:
+        RF environment; defaults to the calibrated office generator.
+    config:
+        Deployment knobs.
+    seed:
+        Root seed; per-run seeds derive from it unless overridden.
+    """
+
+    def __init__(
+        self,
+        dataset: HARDataset,
+        bundle: TrainedSensorBundle,
+        *,
+        trace_generator: Optional[PowerTraceGenerator] = None,
+        config: SimulationConfig = SimulationConfig(),
+        seed: int = 0,
+    ) -> None:
+        if bundle.dataset is not dataset:
+            # Allow equal-spec bundles trained elsewhere, but catch
+            # outright mismatches early.
+            if bundle.dataset.spec.name != dataset.spec.name:
+                raise ConfigurationError(
+                    f"bundle was trained on {bundle.dataset.spec.name}, "
+                    f"not {dataset.spec.name}"
+                )
+        self.dataset = dataset
+        self.bundle = bundle
+        self.trace_generator = trace_generator or PowerTraceGenerator()
+        self.config = config
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def standard_mhealth(
+        cls,
+        seed: int = 7,
+        *,
+        config: SimulationConfig = SimulationConfig(),
+        training: TrainingConfig = TrainingConfig(),
+    ) -> "HARExperiment":
+        """Train-and-build the full MHEALTH setup (takes ~10 s)."""
+        from repro.datasets.mhealth import make_mhealth
+
+        return cls._standard(make_mhealth(seed=seed), seed, config, training)
+
+    @classmethod
+    def standard_pamap2(
+        cls,
+        seed: int = 7,
+        *,
+        config: SimulationConfig = SimulationConfig(),
+        training: TrainingConfig = TrainingConfig(),
+    ) -> "HARExperiment":
+        """Train-and-build the full PAMAP2 setup."""
+        from repro.datasets.pamap2 import make_pamap2
+
+        return cls._standard(make_pamap2(seed=seed), seed, config, training)
+
+    @classmethod
+    def _standard(cls, dataset, seed, config, training) -> "HARExperiment":
+        generator = PowerTraceGenerator()
+        budget = (
+            generator.expected_average_power_w()
+            * dataset.spec.window_duration_s
+            * config.trace_scale
+        )
+        bundle = TrainedSensorBundle.train(dataset, budget, seed=seed, config=training)
+        return cls(
+            dataset, bundle, trace_generator=generator, config=config, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_nodes(
+        self, factory: SeedSequenceFactory, config: SimulationConfig
+    ) -> List[SensorNode]:
+        spec = self.dataset.spec
+        duration = config.n_windows * spec.window_duration_s
+        locations = list(spec.locations)
+        gains = [config.gain_for(location) for location in locations]
+        traces = self.trace_generator.generate_correlated(
+            duration, gains, factory.generator("traces")
+        )
+        models = self.bundle.models(pruned=config.use_pruned_models)
+        energies = self.bundle.inference_energies(pruned=config.use_pruned_models)
+
+        nodes = []
+        for location, trace in zip(locations, traces):
+            node_id = self.bundle.node_id_of(location)
+            nodes.append(
+                SensorNode(
+                    node_id=node_id,
+                    location=location,
+                    model=models[node_id],
+                    inference_energy_j=energies[node_id],
+                    harvester=Harvester(
+                        trace.scaled(config.trace_scale),
+                        supplemental_w=config.battery_supplement_w,
+                    ),
+                    capacitor=Capacitor(
+                        config.capacitor_capacity_j,
+                        config.capacitor_initial_j,
+                        config.capacitor_leakage_w,
+                    ),
+                    nvp=NonVolatileProcessor(
+                        config.checkpoint_overhead, volatile=config.volatile
+                    ),
+                    comm=CommLink(config.radio),
+                    costs=config.costs,
+                    slot_duration_s=spec.window_duration_s,
+                    max_task_age_slots=config.max_task_age_slots,
+                )
+            )
+        return nodes
+
+    def _make_vote(self, spec: PolicySpec, confidence: ConfidenceMatrix):
+        if spec.aggregation is AggregationMode.MAJORITY_RECALL:
+            return MajorityVote()
+        if spec.aggregation is AggregationMode.CONFIDENCE_RECALL:
+            return WeightedMajorityVote(confidence)
+        raise SimulationError(f"{spec.aggregation} has no host-side vote")
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        policy: PolicySpec,
+        *,
+        subject: Optional[SubjectProfile] = None,
+        seed: Optional[int] = None,
+        n_windows: Optional[int] = None,
+        confidence_matrix: Optional[ConfidenceMatrix] = None,
+        window_transform: Optional[WindowTransform] = None,
+        failures: Optional[Dict[int, int]] = None,
+    ) -> ExperimentResult:
+        """Simulate ``policy`` and return the full result.
+
+        Parameters
+        ----------
+        subject:
+            Whose movement to simulate (defaults to the first held-out
+            evaluation subject).
+        seed:
+            Per-run seed (defaults to the experiment seed).
+        n_windows:
+            Override the configured slot count.
+        confidence_matrix:
+            Use (and mutate!) this matrix instead of a fresh copy of the
+            bundle's — the personalization study threads one matrix
+            through many runs this way.
+        window_transform:
+            Applied to every sensed window (e.g. Gaussian noise).
+        failures:
+            ``{node id: slot index}`` — the node dies at that slot and
+            never participates again (the paper's Discussion: Origin
+            "poses minimum risk if one of the sensors fails").  Its
+            recalled vote lingers until ``max_recall_age_slots`` expiry.
+        """
+        config = self.config
+        if n_windows is not None:
+            config = replace(config, n_windows=n_windows)
+        run_seed = self.seed if seed is None else int(seed)
+        factory = SeedSequenceFactory(run_seed)
+        spec = self.dataset.spec
+        subject = subject or (
+            self.dataset.eval_subjects[0]
+            if self.dataset.eval_subjects
+            else SubjectProfile.canonical()
+        )
+
+        # Ground-truth activity timeline with temporal continuity.
+        markov = MarkovActivityModel(
+            list(spec.activities),
+            window_duration_s=spec.window_duration_s,
+            dwell_scale=config.dwell_scale,
+        )
+        labels = markov.sample_labels(config.n_windows, factory.generator("timeline"))
+
+        # Network.
+        nodes = self._build_nodes(factory, config)
+        if confidence_matrix is not None:
+            confidence = confidence_matrix
+        else:
+            alpha = (
+                self.bundle.confidence_matrix.adaptation_alpha
+                if policy.adaptive_confidence
+                else 0.0
+            )
+            confidence = self.bundle.confidence_matrix.copy(adaptation_alpha=alpha)
+        host = HostDevice(
+            self._make_vote(policy, confidence)
+            if policy.uses_recall
+            else MajorityVote(),
+            max_recall_age_slots=config.max_recall_age_slots,
+        )
+        network = BodyAreaNetwork(nodes, host)
+        scheduler = policy.make_scheduler(network.node_ids(), self.bundle.rank_table)
+        scheduler.reset()
+
+        window_rngs = {
+            node.node_id: factory.generator(f"windows/{node.location.value}")
+            for node in nodes
+        }
+        synthesizer = self.dataset.synthesizer
+        # One execution-style wobble per slot, shared by every sensor on
+        # the body (see StyleWobble) — drawn for all slots up front so
+        # the stream is identical regardless of which nodes are active.
+        style_rng = factory.generator("style")
+        styles = [StyleWobble.sample(style_rng) for _ in range(config.n_windows)]
+
+        result = ExperimentResult(policy_name=policy.name, activities=list(spec.activities))
+        last_final: Optional[int] = None
+        confidence_updates_before = confidence.updates
+
+        def alive(node_id: int, slot: int) -> bool:
+            return failures is None or slot < failures.get(node_id, config.n_windows + 1)
+
+        for slot in range(config.n_windows):
+            true_label = spec.label_of(labels[slot])
+            context = SchedulingContext(
+                node_energy_j={
+                    n.node_id: (n.stored_energy_j if alive(n.node_id, slot) else 0.0)
+                    for n in nodes
+                },
+                node_ready={
+                    n.node_id: (
+                        n.can_start_inference() and alive(n.node_id, slot)
+                    )
+                    for n in nodes
+                },
+                anticipated_label=last_final,
+            )
+            active = [
+                node_id
+                for node_id in scheduler.active_nodes(slot, context)
+                if alive(node_id, slot)
+            ]
+
+            windows: Dict[int, np.ndarray] = {}
+            for node_id in active:
+                node = network.node(node_id)
+                window = synthesizer.window(
+                    labels[slot],
+                    node.location,
+                    subject,
+                    window_rngs[node_id],
+                    style=styles[slot],
+                )
+                if window_transform is not None:
+                    window = window_transform(window)
+                windows[node_id] = window
+
+            outcomes = network.step_slot(slot, active, windows)
+
+            for outcome in outcomes:
+                if outcome.completed and policy.adaptive_confidence:
+                    confidence.update(
+                        outcome.node_id, outcome.predicted_label, outcome.confidence
+                    )
+
+            if policy.uses_recall:
+                final = host.classify(slot)
+            else:
+                completed = [o for o in outcomes if o.completed]
+                if completed:
+                    last_final = completed[-1].predicted_label
+                final = last_final
+            if final is not None:
+                last_final = final
+
+            scheduler.observe(slot, outcomes, final)
+            result.records.append(
+                SlotRecord(
+                    slot_index=slot,
+                    true_label=true_label,
+                    predicted_label=final,
+                    active_nodes=tuple(active),
+                    completions=sum(1 for o in outcomes if o.completed),
+                    attempts=len(outcomes),
+                )
+            )
+
+        result.node_stats = {node.node_id: node.stats for node in nodes}
+        result.comm_energy_j = sum(node.comm.energy_spent_j for node in nodes)
+        result.confidence_updates = confidence.updates - confidence_updates_before
+        return result

@@ -1,0 +1,221 @@
+"""Result containers for the slot-by-slot simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.activities import Activity
+from repro.errors import SimulationError
+from repro.wsn.node import NodeStats
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """What happened in one scheduling slot."""
+
+    slot_index: int
+    true_label: int
+    predicted_label: Optional[int]
+    active_nodes: tuple
+    completions: int
+    attempts: int
+
+    @property
+    def correct(self) -> bool:
+        """Whether the system's output matched the true activity."""
+        return self.predicted_label == self.true_label
+
+
+@dataclass(frozen=True)
+class CompletionBreakdown:
+    """Fig. 1-style inference completion statistics."""
+
+    n_slots: int
+    slots_all_completed: int
+    slots_some_completed: int
+    slots_none_completed: int
+
+    def __post_init__(self) -> None:
+        total = (
+            self.slots_all_completed
+            + self.slots_some_completed
+            + self.slots_none_completed
+        )
+        if total != self.n_slots:
+            raise SimulationError(
+                f"breakdown does not add up: {total} != {self.n_slots}"
+            )
+
+    @property
+    def all_fraction(self) -> float:
+        """Fraction of slots where every active node completed."""
+        return self.slots_all_completed / self.n_slots if self.n_slots else 0.0
+
+    @property
+    def some_fraction(self) -> float:
+        """Fraction where at least one (but not all) completed."""
+        return self.slots_some_completed / self.n_slots if self.n_slots else 0.0
+
+    @property
+    def any_fraction(self) -> float:
+        """Fraction where at least one completed."""
+        return self.all_fraction + self.some_fraction
+
+    @property
+    def failed_fraction(self) -> float:
+        """Fraction with no completion at all."""
+        return self.slots_none_completed / self.n_slots if self.n_slots else 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """Full outcome of one policy run."""
+
+    policy_name: str
+    activities: List[Activity]
+    records: List[SlotRecord] = field(default_factory=list)
+    node_stats: Dict[int, NodeStats] = field(default_factory=dict)
+    comm_energy_j: float = 0.0
+    confidence_updates: int = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_slots(self) -> int:
+        """Simulated slot count."""
+        return len(self.records)
+
+    @property
+    def n_classes(self) -> int:
+        """Activity class count."""
+        return len(self.activities)
+
+    def true_labels(self) -> np.ndarray:
+        """Ground-truth label per slot."""
+        return np.array([record.true_label for record in self.records], dtype=np.int64)
+
+    def predicted_labels(self) -> np.ndarray:
+        """System output per slot; -1 where no decision existed yet."""
+        return np.array(
+            [
+                record.predicted_label if record.predicted_label is not None else -1
+                for record in self.records
+            ],
+            dtype=np.int64,
+        )
+
+    @property
+    def overall_accuracy(self) -> float:
+        """Fraction of slots classified correctly (no-decision = wrong).
+
+        The strict stream metric: every window counts, skipped windows
+        fall back to the recalled output and transitions are penalized
+        in full.
+        """
+        if not self.records:
+            raise SimulationError("no slots recorded")
+        return float(np.mean([record.correct for record in self.records]))
+
+    def per_activity_accuracy(self) -> Dict[Activity, float]:
+        """Per-slot accuracy restricted to slots of each activity."""
+        true = self.true_labels()
+        pred = self.predicted_labels()
+        report = {}
+        for label, activity in enumerate(self.activities):
+            mask = true == label
+            report[activity] = (
+                float((pred[mask] == label).mean()) if mask.any() else float("nan")
+            )
+        return report
+
+    # ------------------------------------------------------------------
+    # classification-event metrics (the paper's regime)
+    # ------------------------------------------------------------------
+
+    def _event_records(self) -> List[SlotRecord]:
+        return [record for record in self.records if record.completions > 0]
+
+    @property
+    def n_events(self) -> int:
+        """Slots in which at least one inference completed."""
+        return len(self._event_records())
+
+    @property
+    def event_accuracy(self) -> float:
+        """Accuracy over classification events.
+
+        The paper reports accuracy per classification (e.g. Fig. 6's
+        "10000 successful classifications"): a window that is skipped to
+        harvest costs nothing, but an inference that completes *late*
+        (NVP spanning several slots) is judged against the activity at
+        completion time — staleness is penalized, skipping is not.
+        """
+        events = self._event_records()
+        if not events:
+            return 0.0
+        return float(np.mean([record.correct for record in events]))
+
+    def per_activity_event_accuracy(self) -> Dict[Activity, float]:
+        """Event accuracy restricted to each activity."""
+        events = self._event_records()
+        report = {}
+        for label, activity in enumerate(self.activities):
+            of_class = [r for r in events if r.true_label == label]
+            report[activity] = (
+                float(np.mean([r.correct for r in of_class]))
+                if of_class
+                else float("nan")
+            )
+        return report
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_attempts(self) -> int:
+        """Active-slot inference attempts across all nodes."""
+        return sum(record.attempts for record in self.records)
+
+    @property
+    def total_completions(self) -> int:
+        """Completed inferences across all nodes."""
+        return sum(record.completions for record in self.records)
+
+    @property
+    def completion_rate(self) -> float:
+        """Completions per attempt slot."""
+        return (
+            self.total_completions / self.total_attempts if self.total_attempts else 0.0
+        )
+
+    def completion_breakdown(self) -> CompletionBreakdown:
+        """Fig. 1-style slot breakdown over *attempting* slots.
+
+        Slots with no active node (no-ops) are excluded — the paper's
+        Fig. 1 counts inference windows.
+        """
+        attempting = [record for record in self.records if record.attempts > 0]
+        all_done = sum(
+            1 for record in attempting if record.completions == record.attempts
+        )
+        some = sum(
+            1
+            for record in attempting
+            if 0 < record.completions < record.attempts
+        )
+        none = sum(1 for record in attempting if record.completions == 0)
+        return CompletionBreakdown(len(attempting), all_done, some, none)
+
+    def summary(self) -> str:
+        """One-paragraph text summary."""
+        per_activity = self.per_activity_accuracy()
+        lines = [
+            f"{self.policy_name}: overall accuracy "
+            f"{self.overall_accuracy * 100:.2f}% over {self.n_slots} slots "
+            f"({self.total_completions}/{self.total_attempts} inferences completed)"
+        ]
+        for activity, acc in per_activity.items():
+            lines.append(f"  {activity.label:<10} {acc * 100:6.2f}%")
+        return "\n".join(lines)

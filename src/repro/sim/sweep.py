@@ -1,0 +1,182 @@
+"""Policy grids for Figs. 4/5 and Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.policies import (
+    Baseline1,
+    Baseline2,
+    BaselineSpec,
+    PolicySpec,
+    aas_policy,
+    aasr_policy,
+    origin_policy,
+    rr_policy,
+)
+from repro.datasets.activities import Activity
+from repro.errors import ConfigurationError
+from repro.sim.baselines import BaselineResult, evaluate_baseline
+from repro.sim.experiment import HARExperiment
+from repro.sim.results import ExperimentResult
+
+
+def paper_policy_grid(rr_lengths: Sequence[int] = (3, 6, 9, 12)) -> List[PolicySpec]:
+    """The full Fig. 5 ladder: RR / AAS / AASR / Origin at each length."""
+    grid: List[PolicySpec] = []
+    for rr_length in rr_lengths:
+        grid.append(rr_policy(rr_length))
+        grid.append(aas_policy(rr_length))
+        grid.append(aasr_policy(rr_length))
+        grid.append(origin_policy(rr_length))
+    return grid
+
+
+@dataclass
+class SweepResult:
+    """Results of a policy grid plus both baselines."""
+
+    activities: List[Activity]
+    policies: Dict[str, ExperimentResult] = field(default_factory=dict)
+    baselines: Dict[str, BaselineResult] = field(default_factory=dict)
+
+    def policy(self, name: str) -> ExperimentResult:
+        """Result of one policy by display name."""
+        try:
+            return self.policies[name]
+        except KeyError as error:
+            raise ConfigurationError(
+                f"no policy named {name!r}; have {sorted(self.policies)}"
+            ) from error
+
+    def baseline(self, name: str) -> BaselineResult:
+        """Result of one baseline by display name."""
+        try:
+            return self.baselines[name]
+        except KeyError as error:
+            raise ConfigurationError(
+                f"no baseline named {name!r}; have {sorted(self.baselines)}"
+            ) from error
+
+    def accuracy_table(self) -> Dict[str, Dict[Activity, float]]:
+        """``{policy/baseline name: {activity: accuracy}}``.
+
+        Policies report classification-*event* accuracy (the paper's
+        regime — see :attr:`ExperimentResult.event_accuracy`); for the
+        fully-powered baselines every window is an event, so their
+        window accuracy is the same quantity.
+        """
+        table: Dict[str, Dict[Activity, float]] = {}
+        for name, result in self.policies.items():
+            table[name] = result.per_activity_event_accuracy()
+        for name, result in self.baselines.items():
+            table[name] = result.per_activity_accuracy()
+        return table
+
+    def overall_accuracy(self) -> Dict[str, float]:
+        """Overall (event) accuracy per configuration."""
+        overall = {name: r.event_accuracy for name, r in self.policies.items()}
+        overall.update(
+            {name: r.overall_accuracy for name, r in self.baselines.items()}
+        )
+        return overall
+
+    def mean_improvement(
+        self, policy_name: str, baseline_name: str
+    ) -> float:
+        """Mean per-activity accuracy delta, in percentage points.
+
+        This is how the paper states "RR12-Origin is 2.72 more accurate
+        than Baseline-2" (Table I's vs columns, averaged).
+        """
+        policy_acc = self.policy(policy_name).per_activity_event_accuracy()
+        base_acc = self.baseline(baseline_name).per_activity_accuracy()
+        deltas = [
+            (policy_acc[activity] - base_acc[activity]) * 100.0
+            for activity in self.activities
+        ]
+        return float(np.mean(deltas))
+
+
+class PolicySweep:
+    """Runs a list of policies (plus baselines) on one experiment.
+
+    Averaging over ``n_seeds`` independent runs (different timelines and
+    traces, same trained models) stabilizes the reported accuracies.
+    """
+
+    def __init__(
+        self,
+        experiment: HARExperiment,
+        *,
+        n_seeds: int = 1,
+        include_baselines: bool = True,
+    ) -> None:
+        if n_seeds < 1:
+            raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
+        self.experiment = experiment
+        self.n_seeds = int(n_seeds)
+        self.include_baselines = bool(include_baselines)
+
+    def run(
+        self,
+        policies: Optional[Sequence[PolicySpec]] = None,
+        *,
+        seed: Optional[int] = None,
+    ) -> SweepResult:
+        """Run the grid; multi-seed runs are merged slot-wise."""
+        policies = list(policies) if policies is not None else paper_policy_grid()
+        base_seed = self.experiment.seed if seed is None else int(seed)
+        result = SweepResult(activities=list(self.experiment.dataset.spec.activities))
+
+        for spec in policies:
+            runs = [
+                self.experiment.run(spec, seed=base_seed + offset)
+                for offset in range(self.n_seeds)
+            ]
+            result.policies[spec.name] = _merge_runs(runs)
+
+        if self.include_baselines:
+            for baseline in (Baseline1, Baseline2):
+                runs = [
+                    self._run_baseline(baseline, base_seed + offset)
+                    for offset in range(self.n_seeds)
+                ]
+                result.baselines[baseline.name] = _merge_baselines(runs)
+        return result
+
+    def _run_baseline(self, baseline: BaselineSpec, seed: int) -> BaselineResult:
+        return evaluate_baseline(
+            self.experiment.dataset,
+            self.experiment.bundle,
+            baseline,
+            n_windows=self.experiment.config.n_windows,
+            seed=seed,
+            dwell_scale=self.experiment.config.dwell_scale,
+        )
+
+
+def _merge_runs(runs: List[ExperimentResult]) -> ExperimentResult:
+    """Concatenate multi-seed runs into one result."""
+    merged = ExperimentResult(
+        policy_name=runs[0].policy_name, activities=runs[0].activities
+    )
+    for run in runs:
+        merged.records.extend(run.records)
+        merged.comm_energy_j += run.comm_energy_j
+        merged.confidence_updates += run.confidence_updates
+    merged.node_stats = runs[-1].node_stats
+    return merged
+
+
+def _merge_baselines(runs: List[BaselineResult]) -> BaselineResult:
+    """Concatenate multi-seed baseline runs."""
+    return BaselineResult(
+        baseline_name=runs[0].baseline_name,
+        activities=runs[0].activities,
+        true_labels=np.concatenate([run.true_labels for run in runs]),
+        predicted_labels=np.concatenate([run.predicted_labels for run in runs]),
+    )

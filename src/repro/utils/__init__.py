@@ -1,0 +1,32 @@
+"""Shared utilities: deterministic RNG management, argument validation,
+moving statistics, and plain-text rendering of tables and bar charts."""
+
+from repro.utils.rng import SeedSequenceFactory, as_generator, spawn_generators
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability_vector,
+)
+from repro.utils.stats import ExponentialMovingAverage, RunningMean, confidence_from_softmax
+from repro.utils.text import format_table, horizontal_bar_chart, format_percent
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_generator",
+    "spawn_generators",
+    "check_fraction",
+    "check_in_choices",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability_vector",
+    "ExponentialMovingAverage",
+    "RunningMean",
+    "confidence_from_softmax",
+    "format_table",
+    "horizontal_bar_chart",
+    "format_percent",
+]

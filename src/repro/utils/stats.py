@@ -1,0 +1,120 @@
+"""Streaming statistics used across the package.
+
+The confidence matrix (paper §III-C) is seeded with the *mean variance of
+the softmax output vector* over validation samples and adapted online with
+a moving average; these helpers implement exactly those primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def confidence_from_softmax(probabilities: np.ndarray) -> float:
+    """The paper's confidence metric: variance of the softmax vector.
+
+    A one-hot output (fully confident) maximizes the variance; the uniform
+    vector (fully confused) gives zero.  Accepts a single probability
+    vector of length ``n_classes``.
+    """
+    vector = np.asarray(probabilities, dtype=float)
+    if vector.ndim != 1 or vector.size < 2:
+        raise ConfigurationError(
+            f"softmax vector must be 1-D with >= 2 classes, got shape {vector.shape}"
+        )
+    return float(np.var(vector))
+
+
+def max_confidence(n_classes: int) -> float:
+    """Variance of a one-hot vector with ``n_classes`` entries.
+
+    Useful for normalizing :func:`confidence_from_softmax` to ``[0, 1]``.
+    """
+    if n_classes < 2:
+        raise ConfigurationError(f"n_classes must be >= 2, got {n_classes}")
+    one_hot = np.zeros(n_classes)
+    one_hot[0] = 1.0
+    return float(np.var(one_hot))
+
+
+class RunningMean:
+    """Numerically stable streaming mean (Welford update, mean only)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of observed values."""
+        return self._count
+
+    @property
+    def value(self) -> float:
+        """Current mean; ``0.0`` before any update."""
+        return self._mean
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the mean and return the new mean."""
+        self._count += 1
+        self._mean += (float(sample) - self._mean) / self._count
+        return self._mean
+
+    def merge(self, other: "RunningMean") -> "RunningMean":
+        """Combine two running means as if all samples were seen by one."""
+        merged = RunningMean()
+        merged._count = self._count + other._count
+        if merged._count:
+            merged._mean = (
+                self._mean * self._count + other._mean * other._count
+            ) / merged._count
+        return merged
+
+
+class ExponentialMovingAverage:
+    """EMA with configurable smoothing, used for confidence adaptation.
+
+    ``alpha`` is the weight of the *new* observation:
+    ``value <- (1 - alpha) * value + alpha * sample``.
+    """
+
+    def __init__(self, alpha: float, initial: float = 0.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self._value = float(initial)
+        self._updates = 0
+
+    @property
+    def value(self) -> float:
+        """Current smoothed value."""
+        return self._value
+
+    @property
+    def updates(self) -> int:
+        """How many samples have been folded in."""
+        return self._updates
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` in and return the new smoothed value."""
+        self._value += self.alpha * (float(sample) - self._value)
+        self._updates += 1
+        return self._value
+
+
+def signal_power(samples: np.ndarray) -> float:
+    """Mean squared amplitude of a signal (any shape)."""
+    array = np.asarray(samples, dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("signal must be non-empty")
+    return float(np.mean(array**2))
+
+
+def snr_db(signal: np.ndarray, noise: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB between a signal and a noise array."""
+    noise_power = signal_power(noise)
+    if noise_power == 0:
+        return float("inf")
+    return 10.0 * float(np.log10(signal_power(signal) / noise_power))

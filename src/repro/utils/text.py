@@ -1,0 +1,92 @@
+"""Plain-text rendering of tables and bar charts.
+
+The benchmark harness reproduces the paper's figures as printed series;
+these helpers keep that output aligned and readable in a terminal or a
+captured log file without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction in ``[0, 1]`` or a percentage as ``xx.yy%``.
+
+    Values above 1.5 are assumed to already be percentages.
+    """
+    percent = value * 100.0 if value <= 1.5 else value
+    return f"{percent:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are rounded to ``float_digits``; every other cell is rendered
+    with ``str``.  Column widths adapt to the longest cell.
+    """
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row!r}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def horizontal_bar_chart(
+    values: Mapping[str, float],
+    *,
+    max_width: int = 40,
+    max_value: Optional[float] = None,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Render ``label: ###### value`` bars, scaled to ``max_width`` chars.
+
+    ``max_value`` defaults to the largest value (bars fill the width).
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    top = max_value if max_value is not None else max(values.values())
+    top = max(top, 1e-12)
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        filled = int(round(max_width * min(max(value, 0.0), top) / top))
+        bar = "█" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(max_width)}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def indent_block(text: str, prefix: str = "    ") -> str:
+    """Indent every line of ``text`` with ``prefix``."""
+    return "\n".join(prefix + line if line else line for line in text.splitlines())

@@ -1,0 +1,70 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` (a ``ValueError``)
+with messages that name the offending parameter, so constructor
+validation stays one line per parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it unchanged."""
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it unchanged."""
+    if not np.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require an integer ``value >= 1``; return it as ``int``."""
+    if int(value) != value or value < 1:
+        raise ConfigurationError(f"{name} must be an integer >= 1, got {value!r}")
+    return int(value)
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = True) -> float:
+    """Require ``value`` in ``[0, 1]`` (or ``(0, 1)`` when not inclusive)."""
+    if not np.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    elif not 0.0 < value < 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1), got {value!r}")
+    return float(value)
+
+
+def check_in_choices(name: str, value: T, choices: Iterable[T]) -> T:
+    """Require ``value`` to be one of ``choices``; return it unchanged."""
+    options = list(choices)
+    if value not in options:
+        raise ConfigurationError(f"{name} must be one of {options!r}, got {value!r}")
+    return value
+
+
+def check_probability_vector(name: str, values: Sequence[float], *, atol: float = 1e-6) -> np.ndarray:
+    """Require a non-negative vector summing to one; return it as an array."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise ConfigurationError(f"{name} must be a non-empty 1-D vector, got shape {array.shape}")
+    if np.any(array < -atol):
+        raise ConfigurationError(f"{name} must be non-negative, got {array!r}")
+    total = float(array.sum())
+    if abs(total - 1.0) > atol:
+        raise ConfigurationError(f"{name} must sum to 1 (got {total:.6f})")
+    return np.clip(array, 0.0, None) / max(total, 1e-12)

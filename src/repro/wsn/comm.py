@@ -1,0 +1,102 @@
+"""Radio cost model.
+
+The paper assumes communication cost is "negligible since it
+infrequently sends a few bytes of data to the host" (§IV-A).  Instead of
+hard-coding zero, this module models per-message energy and latency so
+that the assumption is *checkable* (and breakable, for sensitivity
+studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """Energy/latency characteristics of one radio technology."""
+
+    name: str
+    energy_per_byte_j: float
+    wakeup_energy_j: float
+    latency_per_message_s: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("energy_per_byte_j", self.energy_per_byte_j)
+        check_non_negative("wakeup_energy_j", self.wakeup_energy_j)
+        check_non_negative("latency_per_message_s", self.latency_per_message_s)
+
+    @staticmethod
+    def ble() -> "RadioProfile":
+        """Bluetooth Low Energy: cheap short messages."""
+        return RadioProfile(
+            name="BLE",
+            energy_per_byte_j=0.25e-6,
+            wakeup_energy_j=1.5e-6,
+            latency_per_message_s=0.012,
+        )
+
+    @staticmethod
+    def wifi() -> "RadioProfile":
+        """WiFi: faster but more expensive per message."""
+        return RadioProfile(
+            name="WiFi",
+            energy_per_byte_j=0.9e-6,
+            wakeup_energy_j=12e-6,
+            latency_per_message_s=0.004,
+        )
+
+
+class CommLink:
+    """Point-to-point link from a node to the host.
+
+    Tracks cumulative energy and message counts so experiments can
+    verify the paper's negligible-communication assumption.
+    """
+
+    def __init__(self, profile: RadioProfile) -> None:
+        if not isinstance(profile, RadioProfile):
+            raise ConfigurationError("profile must be a RadioProfile")
+        self.profile = profile
+        self._messages = 0
+        self._bytes = 0
+        self._energy_j = 0.0
+
+    @property
+    def messages_sent(self) -> int:
+        """Messages transmitted so far."""
+        return self._messages
+
+    @property
+    def bytes_sent(self) -> int:
+        """Payload bytes transmitted so far."""
+        return self._bytes
+
+    @property
+    def energy_spent_j(self) -> float:
+        """Total radio energy so far."""
+        return self._energy_j
+
+    def message_cost_j(self, payload_bytes: int) -> float:
+        """Energy one message of ``payload_bytes`` will cost."""
+        check_positive_int("payload_bytes", payload_bytes)
+        return (
+            self.profile.wakeup_energy_j
+            + payload_bytes * self.profile.energy_per_byte_j
+        )
+
+    def send(self, payload_bytes: int) -> float:
+        """Account for one message; returns its energy cost."""
+        cost = self.message_cost_j(payload_bytes)
+        self._messages += 1
+        self._bytes += payload_bytes
+        self._energy_j += cost
+        return cost
+
+    @property
+    def latency_s(self) -> float:
+        """Delivery latency of one message."""
+        return self.profile.latency_per_message_s

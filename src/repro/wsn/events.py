@@ -1,0 +1,114 @@
+"""Minimal discrete-event engine.
+
+The HAR simulation is slot-synchronous, but message delivery, node
+wake-ups and trace playback are naturally event-driven; this engine
+provides deterministic time ordering for them.  Events at equal times
+fire in (priority, insertion order).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class _QueueEntry:
+    time_s: float
+    priority: int
+    sequence: int
+    event: "Event" = field(compare=False)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time_s: float
+    action: Callable[[], Any]
+    label: str = ""
+    priority: int = 0
+
+
+class EventScheduler:
+    """Deterministic future-event list."""
+
+    def __init__(self) -> None:
+        self._queue: List[_QueueEntry] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events not yet fired."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Events fired so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        time_s: float,
+        action: Callable[[], Any],
+        *,
+        label: str = "",
+        priority: int = 0,
+    ) -> Event:
+        """Enqueue ``action`` at absolute time ``time_s`` (>= now)."""
+        if time_s < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time_s} (now is {self._now})"
+            )
+        event = Event(time_s, action, label, priority)
+        heapq.heappush(
+            self._queue,
+            _QueueEntry(time_s, priority, next(self._sequence), event),
+        )
+        return event
+
+    def schedule_in(self, delay_s: float, action: Callable[[], Any], **kwargs) -> Event:
+        """Enqueue ``action`` ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise SimulationError(f"delay_s must be >= 0, got {delay_s}")
+        return self.schedule(self._now + delay_s, action, **kwargs)
+
+    def step(self) -> Optional[Event]:
+        """Fire the next event; returns it (or None when empty)."""
+        if not self._queue:
+            return None
+        entry = heapq.heappop(self._queue)
+        self._now = entry.time_s
+        entry.event.action()
+        self._processed += 1
+        return entry.event
+
+    def run_until(self, time_s: float) -> int:
+        """Fire everything scheduled up to and including ``time_s``."""
+        fired = 0
+        while self._queue and self._queue[0].time_s <= time_s:
+            self.step()
+            fired += 1
+        self._now = max(self._now, time_s)
+        return fired
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue; guards against runaway self-scheduling."""
+        fired = 0
+        while self._queue:
+            if fired >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            self.step()
+            fired += 1
+        return fired

@@ -1,0 +1,125 @@
+"""Battery-backed host device (the user's phone).
+
+The host receives tiny result messages from the nodes, remembers each
+node's *most recent* classification (the paper's recall mechanism,
+§III-B), and produces the final per-window classification by applying a
+pluggable voting function — naive majority for AASR, confidence-weighted
+majority for Origin.  The host is mains/battery powered, so its own
+energy is not modelled; its compute is deliberately limited to lookups
+and a vote, matching the paper's "minimal overhead on the host device".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.wsn.node import InferenceOutcome
+
+
+@dataclass(frozen=True)
+class ReceivedVote:
+    """One node's most recent classification, as the host remembers it."""
+
+    node_id: int
+    label: int
+    confidence: float
+    probabilities: Optional[np.ndarray]
+    received_slot: int
+    started_slot: int
+
+    def age(self, current_slot: int) -> int:
+        """Slots since the classified window was sensed."""
+        return current_slot - self.started_slot
+
+
+VoteFunction = Callable[[Sequence[ReceivedVote], int], Optional[int]]
+
+
+class HostDevice:
+    """Aggregation endpoint with recall memory.
+
+    Parameters
+    ----------
+    vote:
+        ``vote(votes, current_slot) -> label or None``.  Receives every
+        remembered vote (fresh and recalled); ``None`` means "no
+        decision yet" (before any node has reported).
+    max_recall_age_slots:
+        Drop remembered votes older than this (``None`` = never expire).
+    """
+
+    def __init__(
+        self,
+        vote: VoteFunction,
+        *,
+        max_recall_age_slots: Optional[int] = None,
+    ) -> None:
+        if not callable(vote):
+            raise SimulationError("vote must be callable")
+        if max_recall_age_slots is not None and max_recall_age_slots < 1:
+            raise SimulationError("max_recall_age_slots must be >= 1 or None")
+        self.vote = vote
+        self.max_recall_age_slots = max_recall_age_slots
+        self._memory: Dict[int, ReceivedVote] = {}
+        self._messages_received = 0
+        self._decisions = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def messages_received(self) -> int:
+        """Result messages received so far."""
+        return self._messages_received
+
+    @property
+    def decisions_made(self) -> int:
+        """Final classifications produced so far."""
+        return self._decisions
+
+    def remembered_votes(self) -> List[ReceivedVote]:
+        """Current recall memory, one entry per reporting node."""
+        return list(self._memory.values())
+
+    def remembered_for(self, node_id: int) -> Optional[ReceivedVote]:
+        """The remembered vote of one node (None if never reported)."""
+        return self._memory.get(node_id)
+
+    # ------------------------------------------------------------------
+
+    def receive(self, outcome: InferenceOutcome) -> None:
+        """Ingest a completed inference result from a node."""
+        if not outcome.completed:
+            raise SimulationError("host only receives completed inferences")
+        self._messages_received += 1
+        self._memory[outcome.node_id] = ReceivedVote(
+            node_id=outcome.node_id,
+            label=outcome.predicted_label,
+            confidence=outcome.confidence if outcome.confidence is not None else 0.0,
+            probabilities=outcome.probabilities,
+            received_slot=outcome.slot_index,
+            started_slot=outcome.started_slot,
+        )
+
+    def classify(self, current_slot: int) -> Optional[int]:
+        """Final classification for the current window (or None)."""
+        votes = self.remembered_votes()
+        if self.max_recall_age_slots is not None:
+            votes = [
+                vote for vote in votes if vote.age(current_slot) <= self.max_recall_age_slots
+            ]
+        if not votes:
+            return None
+        label = self.vote(votes, current_slot)
+        if label is not None:
+            self._decisions += 1
+        return label
+
+    def reset(self) -> None:
+        """Forget everything (new user / new run)."""
+        self._memory.clear()
+        self._messages_received = 0
+        self._decisions = 0

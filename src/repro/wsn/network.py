@@ -1,0 +1,107 @@
+"""The body-area network: nodes + host, driven slot by slot."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.body import BodyLocation
+from repro.errors import SimulationError
+from repro.wsn.host import HostDevice
+from repro.wsn.node import InferenceOutcome, SensorNode
+
+
+class BodyAreaNetwork:
+    """Wires sensor nodes to the host device.
+
+    The network knows nothing about policies; a scheduler decides which
+    node (if any) is active each slot and calls :meth:`step_slot`.
+    Completed inferences are forwarded to the host automatically.
+    """
+
+    def __init__(self, nodes: Sequence[SensorNode], host: HostDevice) -> None:
+        if not nodes:
+            raise SimulationError("a network needs at least one node")
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise SimulationError(f"duplicate node ids: {ids}")
+        self.nodes: List[SensorNode] = list(nodes)
+        self.host = host
+        self._by_id: Dict[int, SensorNode] = {node.node_id: node for node in self.nodes}
+        self._by_location: Dict[BodyLocation, SensorNode] = {
+            node.location: node for node in self.nodes
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Node count."""
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> SensorNode:
+        """Node by id."""
+        try:
+            return self._by_id[node_id]
+        except KeyError as error:
+            raise SimulationError(f"unknown node id {node_id}") from error
+
+    def node_at(self, location: BodyLocation) -> SensorNode:
+        """Node by body location."""
+        try:
+            return self._by_location[location]
+        except KeyError as error:
+            raise SimulationError(f"no node at {location}") from error
+
+    def node_ids(self) -> List[int]:
+        """All node ids, in construction order."""
+        return [node.node_id for node in self.nodes]
+
+    # ------------------------------------------------------------------
+
+    def step_slot(
+        self,
+        slot_index: int,
+        active_node_ids: Sequence[int],
+        windows: Dict[int, np.ndarray],
+    ) -> List[InferenceOutcome]:
+        """Advance every node one slot.
+
+        ``active_node_ids`` attempt an inference on their entry in
+        ``windows``; everyone else just harvests.  Completed outcomes
+        are delivered to the host; all active-slot outcomes are
+        returned for bookkeeping.
+        """
+        active = set(active_node_ids)
+        unknown = active - set(self._by_id)
+        if unknown:
+            raise SimulationError(f"unknown active node ids: {sorted(unknown)}")
+        outcomes: List[InferenceOutcome] = []
+        for node in self.nodes:
+            if node.node_id in active:
+                if node.node_id not in windows:
+                    raise SimulationError(
+                        f"active node {node.node_id} has no window for slot {slot_index}"
+                    )
+                outcome = node.active_slot(slot_index, windows[node.node_id])
+                outcomes.append(outcome)
+                if outcome.completed:
+                    self.host.receive(outcome)
+            else:
+                node.idle_slot(slot_index)
+        return outcomes
+
+    def reset(self) -> None:
+        """Reset every node and the host."""
+        for node in self.nodes:
+            node.reset()
+        self.host.reset()
+
+    def total_harvested_j(self) -> float:
+        """Sum of harvested energy across nodes."""
+        return sum(node.stats.harvested_j for node in self.nodes)
+
+    def total_consumed_j(self) -> float:
+        """Sum of consumed energy across nodes."""
+        return sum(node.stats.consumed_j for node in self.nodes)

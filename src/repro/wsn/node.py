@@ -1,0 +1,270 @@
+"""Energy-harvesting sensor node.
+
+One node = IMU + RF harvester + capacitor + NVP compute + radio.  The
+node lives in discrete scheduling slots (one IMU window per slot):
+
+* every slot it harvests into its capacitor (and leaks);
+* on an *active* slot it senses a window and runs (or resumes) an
+  inference on the NVP, spending stored energy;
+* a completed inference yields an :class:`InferenceOutcome` carrying the
+  softmax vector and the paper's variance-of-softmax confidence score.
+
+Because the NVP checkpoints, an inference may span several active slots;
+the outcome then reports the slot whose window was actually classified
+(``started_slot``), which is how recall staleness enters the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.body import BodyLocation
+from repro.energy.harvester import Harvester
+from repro.energy.nvp import NonVolatileProcessor, TaskState
+from repro.energy.storage import Capacitor
+from repro.errors import SimulationError
+from repro.nn.model import Sequential
+from repro.utils.stats import confidence_from_softmax
+from repro.utils.validation import check_non_negative, check_positive
+from repro.wsn.comm import CommLink
+
+
+@dataclass(frozen=True)
+class NodeCosts:
+    """Per-slot energy costs besides the DNN itself."""
+
+    sense_j: float = 8e-6  # IMU sampling + buffering for one window
+    idle_j: float = 0.5e-6  # sleep-mode controller draw per slot
+    result_message_bytes: int = 6  # class id + confidence + header
+
+    def __post_init__(self) -> None:
+        check_non_negative("sense_j", self.sense_j)
+        check_non_negative("idle_j", self.idle_j)
+        if self.result_message_bytes < 1:
+            raise SimulationError("result_message_bytes must be >= 1")
+
+
+@dataclass
+class NodeStats:
+    """Cumulative counters for one node."""
+
+    slots: int = 0
+    active_slots: int = 0
+    attempts_started: int = 0
+    completions: int = 0
+    failed_active_slots: int = 0
+    harvested_j: float = 0.0
+    consumed_j: float = 0.0
+    comm_j: float = 0.0
+
+    @property
+    def completion_rate(self) -> float:
+        """Completions per active slot (0 when never active)."""
+        return self.completions / self.active_slots if self.active_slots else 0.0
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """What one active slot produced."""
+
+    node_id: int
+    location: BodyLocation
+    slot_index: int
+    started_slot: int
+    completed: bool
+    predicted_label: Optional[int] = None
+    probabilities: Optional[np.ndarray] = None
+    confidence: Optional[float] = None
+    energy_consumed_j: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.completed and (self.predicted_label is None or self.probabilities is None):
+            raise SimulationError("completed outcome must carry a prediction")
+
+
+class SensorNode:
+    """One energy-harvesting HAR sensor node.
+
+    Parameters
+    ----------
+    node_id / location:
+        Identity and body placement.
+    model:
+        The (possibly pruned) per-location classifier.
+    inference_energy_j:
+        Useful work one inference requires (from the energy model).
+    harvester / capacitor / nvp / comm:
+        Substrate components (each independently configurable).
+    costs:
+        Non-DNN energy costs.
+    slot_duration_s:
+        Scheduling-slot length (= IMU window duration).
+    max_task_age_slots:
+        Abort an in-flight inference older than this many slots (its
+        window is too stale to be useful); ``None`` keeps it forever.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        location: BodyLocation,
+        model: Sequential,
+        inference_energy_j: float,
+        harvester: Harvester,
+        capacitor: Capacitor,
+        nvp: NonVolatileProcessor,
+        comm: CommLink,
+        *,
+        costs: NodeCosts = NodeCosts(),
+        slot_duration_s: float = 2.56,
+        max_task_age_slots: Optional[int] = None,
+    ) -> None:
+        self.node_id = int(node_id)
+        self.location = location
+        self.model = model
+        self.inference_energy_j = check_positive("inference_energy_j", inference_energy_j)
+        self.harvester = harvester
+        self.capacitor = capacitor
+        self.nvp = nvp
+        self.comm = comm
+        self.costs = costs
+        self.slot_duration_s = check_positive("slot_duration_s", slot_duration_s)
+        if max_task_age_slots is not None and max_task_age_slots < 1:
+            raise SimulationError("max_task_age_slots must be >= 1 or None")
+        self.max_task_age_slots = max_task_age_slots
+        self.stats = NodeStats()
+        self._pending_window: Optional[np.ndarray] = None
+        self._pending_slot: Optional[int] = None
+        self._slot_energies: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # per-slot lifecycle
+    # ------------------------------------------------------------------
+
+    def _slot_harvest(self, slot_index: int) -> float:
+        if self._slot_energies is None:
+            self._slot_energies = self.harvester.slot_energies(self.slot_duration_s)
+        if slot_index < self._slot_energies.size:
+            return float(self._slot_energies[slot_index])
+        return 0.0
+
+    def harvest(self, slot_index: int) -> float:
+        """Harvest this slot's energy into the capacitor; returns joules."""
+        energy = self._slot_harvest(slot_index)
+        accepted = self.capacitor.deposit(energy)
+        self.capacitor.leak(self.slot_duration_s)
+        self.capacitor.draw(min(self.costs.idle_j, self.capacitor.stored_j))
+        self.stats.harvested_j += accepted
+        self.stats.slots += 1
+        return accepted
+
+    def idle_slot(self, slot_index: int) -> None:
+        """A slot in which this node only harvests."""
+        self.harvest(slot_index)
+
+    def active_slot(self, slot_index: int, window: np.ndarray) -> InferenceOutcome:
+        """Harvest, then sense/run (or resume) an inference.
+
+        Returns the slot's outcome; ``completed=False`` means the node
+        made partial progress (NVP) or lost its progress (volatile).
+        """
+        self.harvest(slot_index)
+        self.stats.active_slots += 1
+
+        # Expire a too-stale in-flight task before deciding what to run.
+        if (
+            self.nvp.state is TaskState.IN_PROGRESS
+            and self.max_task_age_slots is not None
+            and self._pending_slot is not None
+            and slot_index - self._pending_slot >= self.max_task_age_slots
+        ):
+            self.nvp.abort()
+            self._pending_window = None
+            self._pending_slot = None
+
+        if self.nvp.state is TaskState.IDLE:
+            # Fresh inference: sense the current window first.
+            sense = self.capacitor.draw(min(self.costs.sense_j, self.capacitor.stored_j))
+            self.stats.consumed_j += sense
+            if sense < self.costs.sense_j:
+                self.stats.failed_active_slots += 1
+                return InferenceOutcome(
+                    self.node_id, self.location, slot_index, slot_index, False,
+                    energy_consumed_j=sense,
+                )
+            self._pending_window = np.asarray(window)
+            self._pending_slot = slot_index
+            self.nvp.start_task(self.inference_energy_j)
+            self.stats.attempts_started += 1
+
+        burst = self.nvp.execute_burst(self.capacitor.stored_j)
+        self.capacitor.draw(burst.consumed_j)
+        self.stats.consumed_j += burst.consumed_j
+
+        if not burst.completed:
+            self.stats.failed_active_slots += 1
+            started = self._pending_slot if self._pending_slot is not None else slot_index
+            if self.nvp.volatile:
+                # A volatile MCU loses the work and must restart on a
+                # fresh window next time (the Fig. 1 hardware).
+                self.nvp.abort()
+                self._pending_window = None
+                self._pending_slot = None
+            return InferenceOutcome(
+                self.node_id, self.location, slot_index, started,
+                False, energy_consumed_j=burst.consumed_j,
+            )
+
+        # Completed: classify the buffered window and report.
+        self.nvp.acknowledge_completion()
+        started_slot = self._pending_slot
+        probabilities = self.model.predict_proba(self._pending_window[None, ...])[0]
+        self._pending_window = None
+        self._pending_slot = None
+        self.stats.completions += 1
+
+        comm_cost = self.comm.send(self.costs.result_message_bytes)
+        paid = self.capacitor.draw(min(comm_cost, self.capacitor.stored_j))
+        self.stats.comm_j += paid
+        self.stats.consumed_j += paid
+
+        return InferenceOutcome(
+            node_id=self.node_id,
+            location=self.location,
+            slot_index=slot_index,
+            started_slot=started_slot,
+            completed=True,
+            predicted_label=int(probabilities.argmax()),
+            probabilities=probabilities,
+            confidence=confidence_from_softmax(probabilities),
+            energy_consumed_j=burst.consumed_j + paid,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stored_energy_j(self) -> float:
+        """Current capacitor charge."""
+        return self.capacitor.stored_j
+
+    def can_start_inference(self) -> bool:
+        """Whether a fresh inference could finish within one burst now.
+
+        Used by activity-aware scheduling's energy check: the current
+        best sensor passes the job on when it predicts it cannot finish.
+        """
+        needed = self.costs.sense_j + self.inference_energy_j / (
+            1.0 - self.nvp.checkpoint_overhead
+        )
+        return self.capacitor.stored_j >= needed
+
+    def reset(self) -> None:
+        """Clear all mutable state (capacitor, NVP, stats, pending task)."""
+        self.capacitor.reset()
+        self.nvp.abort()
+        self.stats = NodeStats()
+        self._pending_window = None
+        self._pending_slot = None

@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+Heavy artifacts (trained bundles) are session-scoped and deliberately
+tiny: a few training windows and epochs are enough to exercise every
+code path while keeping the whole suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.mhealth import make_mhealth
+from repro.sim.experiment import HARExperiment, SimulationConfig
+from repro.sim.training import TrainedSensorBundle, TrainingConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small but complete MHEALTH-like dataset."""
+    return make_mhealth(
+        seed=11,
+        train_windows_per_activity=14,
+        val_windows_per_activity=8,
+        test_windows_per_activity=8,
+        n_train_subjects=3,
+        n_eval_subjects=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(tiny_dataset):
+    """Trained per-location models + tables (fast training recipe)."""
+    config = TrainingConfig(
+        epochs=6,
+        batch_size=16,
+        early_stopping_patience=6,
+        finetune_epochs=1,
+        final_finetune_epochs=2,
+        finetune_every=6,
+    )
+    return TrainedSensorBundle.train(
+        tiny_dataset, budget_j=160e-6, seed=5, config=config
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_experiment(tiny_dataset, tiny_bundle):
+    """A ready-to-run EH-WSN experiment with a short horizon."""
+    return HARExperiment(
+        tiny_dataset,
+        tiny_bundle,
+        config=SimulationConfig(n_windows=60),
+        seed=3,
+    )

@@ -1,0 +1,150 @@
+"""Tests for the confidence matrix and voting functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import ConfidenceMatrix, MajorityVote, WeightedMajorityVote
+from repro.errors import ConfigurationError
+from repro.wsn.host import ReceivedVote
+
+
+def vote(node_id, label, confidence=0.1, started_slot=0):
+    return ReceivedVote(
+        node_id=node_id,
+        label=label,
+        confidence=confidence,
+        probabilities=None,
+        received_slot=started_slot,
+        started_slot=started_slot,
+    )
+
+
+@pytest.fixture
+def matrix():
+    return ConfidenceMatrix(
+        {0: [0.10, 0.02, 0.05], 1: [0.03, 0.12, 0.06], 2: [0.08, 0.08, 0.01]},
+        adaptation_alpha=0.5,
+    )
+
+
+class TestConfidenceMatrix:
+    def test_raw_weight_lookup(self, matrix):
+        assert matrix.raw_weight(0, 0) == pytest.approx(0.10)
+        assert matrix.weight(0, 0) == pytest.approx(0.10)  # unnormalized default
+
+    def test_normalized_weight(self):
+        normalized = ConfidenceMatrix({0: [0.2, 0.1, 0.0]}, normalize=True)
+        assert normalized.weight(0, 0) == pytest.approx(2.0)
+        assert normalized.weight(0, 2) == pytest.approx(0.0)
+
+    def test_update_moves_toward_observation(self, matrix):
+        updated = matrix.update(0, 1, confidence=0.10)
+        assert updated == pytest.approx(0.02 + 0.5 * (0.10 - 0.02))
+        assert matrix.updates == 1
+
+    def test_update_noop_with_zero_alpha(self, matrix):
+        frozen = matrix.copy(adaptation_alpha=0.0)
+        before = frozen.raw_weight(0, 0)
+        frozen.update(0, 0, confidence=0.9)
+        assert frozen.raw_weight(0, 0) == before
+        assert frozen.updates == 0
+
+    def test_update_operates_on_raw_scale(self):
+        """Regression: update() must read the raw entry, not the
+        normalized voting weight, or one update inflates the row."""
+        normalized = ConfidenceMatrix(
+            {0: [0.1, 0.1, 0.1]}, adaptation_alpha=0.5, normalize=True
+        )
+        normalized.update(0, 0, confidence=0.1)
+        assert normalized.raw_weight(0, 0) == pytest.approx(0.1)
+
+    def test_copy_is_independent(self, matrix):
+        clone = matrix.copy()
+        clone.update(0, 0, confidence=0.9)
+        assert matrix.raw_weight(0, 0) == pytest.approx(0.10)
+        assert clone.normalize == matrix.normalize
+
+    def test_as_array(self, matrix):
+        array = matrix.as_array()
+        assert array.shape == (3, 3)
+        np.testing.assert_allclose(array[0], [0.10, 0.02, 0.05])
+
+    def test_seed_from_validation(self, tiny_bundle, tiny_dataset):
+        matrix = tiny_bundle.confidence_matrix
+        assert matrix.n_classes == tiny_dataset.n_classes
+        assert len(matrix.node_ids) == 3
+        assert (matrix.as_array() >= 0).all()
+
+    def test_unknown_node(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix.weight(9, 0)
+
+    def test_label_out_of_range(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix.weight(0, 5)
+
+    def test_negative_confidence_rejected(self, matrix):
+        with pytest.raises(ConfigurationError):
+            matrix.update(0, 0, confidence=-0.1)
+
+    def test_inconsistent_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceMatrix({0: [0.1, 0.2], 1: [0.1, 0.2, 0.3]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceMatrix({})
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        voter = MajorityVote()
+        assert voter([vote(0, 1), vote(1, 1), vote(2, 0)], 5) == 1
+
+    def test_tie_resolves_to_freshest(self):
+        voter = MajorityVote()
+        votes = [vote(0, 1, started_slot=2), vote(1, 0, started_slot=7)]
+        assert voter(votes, 8) == 0
+
+    def test_empty_votes(self):
+        assert MajorityVote()([], 0) is None
+
+    def test_unanimous(self):
+        voter = MajorityVote()
+        assert voter([vote(n, 2) for n in range(3)], 0) == 2
+
+
+class TestWeightedMajorityVote:
+    def test_matrix_weight_swings_vote(self, matrix):
+        # Node 1 confident in class 1 outweighs two weak votes for 2.
+        voter = WeightedMajorityVote(matrix, blend=0.0)
+        votes = [vote(0, 2), vote(2, 2), vote(1, 1)]
+        # weights: class2 = 0.05 + 0.01 = 0.06 < class1 = 0.12
+        assert voter(votes, 0) == 1
+
+    def test_transmitted_confidence_used_with_blend_one(self, matrix):
+        voter = WeightedMajorityVote(matrix, blend=1.0)
+        votes = [vote(0, 0, confidence=0.01), vote(1, 2, confidence=0.5)]
+        assert voter(votes, 0) == 2
+
+    def test_blend_mixes(self, matrix):
+        voter = WeightedMajorityVote(matrix, blend=0.5)
+        weight = voter._weight(vote(0, 0, confidence=0.2))
+        assert weight == pytest.approx(0.5 * 0.2 + 0.5 * 0.10)
+
+    def test_empty_votes(self, matrix):
+        assert WeightedMajorityVote(matrix)([], 0) is None
+
+    def test_exact_tie_resolves_to_freshest(self):
+        matrix = ConfidenceMatrix({0: [0.1, 0.1], 1: [0.1, 0.1]})
+        voter = WeightedMajorityVote(matrix, blend=0.0)
+        votes = [vote(0, 0, started_slot=1), vote(1, 1, started_slot=4)]
+        assert voter(votes, 5) == 1
+
+    def test_invalid_blend(self, matrix):
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVote(matrix, blend=1.5)
+
+    def test_requires_matrix(self):
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityVote({"not": "a matrix"})

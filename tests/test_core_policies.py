@@ -1,0 +1,121 @@
+"""Tests for PolicySpec, the policy ladder factories and baselines."""
+
+import pytest
+
+from repro.core.policies import (
+    AggregationMode,
+    Baseline1,
+    Baseline2,
+    OriginPolicy,
+    PolicySpec,
+    aas_policy,
+    aasr_policy,
+    naive_policy,
+    origin_policy,
+    rr_policy,
+)
+from repro.core.scheduling import (
+    ActivityAwareScheduler,
+    ExtendedRoundRobin,
+    NaiveAllOn,
+    RankTable,
+)
+from repro.errors import ConfigurationError
+
+NODES = [0, 1, 2]
+TABLE = RankTable({0: [0, 1, 2], 1: [1, 2, 0], 2: [2, 0, 1]})
+
+
+class TestFactories:
+    def test_rr_policy(self):
+        spec = rr_policy(6)
+        assert spec.name == "RR6"
+        assert not spec.activity_aware
+        assert not spec.uses_recall
+
+    def test_aas_policy(self):
+        spec = aas_policy(9)
+        assert spec.activity_aware
+        assert spec.aggregation is AggregationMode.LAST_INFERENCE
+
+    def test_aasr_policy(self):
+        spec = aasr_policy(12)
+        assert spec.uses_recall
+        assert not spec.uses_confidence_matrix
+
+    def test_origin_policy(self):
+        spec = origin_policy(12)
+        assert spec.uses_confidence_matrix
+        assert spec.adaptive_confidence
+        assert spec.name == "RR12 Origin"
+
+    def test_origin_static(self):
+        spec = origin_policy(12, adaptive=False)
+        assert not spec.adaptive_confidence
+        assert "static" in spec.name
+
+    def test_origin_policy_namespace(self):
+        assert OriginPolicy.with_rr(6) == origin_policy(6)
+
+    def test_naive_policy(self):
+        spec = naive_policy()
+        assert spec.all_on
+
+
+class TestMakeScheduler:
+    def test_rr_gives_round_robin(self):
+        scheduler = rr_policy(12).make_scheduler(NODES, None)
+        assert isinstance(scheduler, ExtendedRoundRobin)
+        assert scheduler.cycle_length == 12
+
+    def test_aas_gives_activity_aware(self):
+        scheduler = aas_policy(12).make_scheduler(NODES, TABLE)
+        assert isinstance(scheduler, ActivityAwareScheduler)
+        # Plain AAS favors time-on-best-sensor: half-cycle cooldown.
+        assert scheduler.cooldown_slots == 7
+
+    def test_recall_policies_rotate_harder(self):
+        scheduler = origin_policy(12).make_scheduler(NODES, TABLE)
+        assert scheduler.cooldown_slots == 9
+
+    def test_naive_gives_all_on(self):
+        scheduler = naive_policy().make_scheduler(NODES, None)
+        assert isinstance(scheduler, NaiveAllOn)
+
+    def test_aas_without_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aas_policy(6).make_scheduler(NODES, None)
+
+
+class TestValidation:
+    def test_adaptive_requires_confidence_aggregation(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec(
+                name="bad",
+                rr_length=3,
+                activity_aware=True,
+                aggregation=AggregationMode.MAJORITY_RECALL,
+                adaptive_confidence=True,
+            )
+
+    def test_naive_cannot_be_activity_aware(self):
+        with pytest.raises(ConfigurationError):
+            PolicySpec(
+                name="bad",
+                rr_length=3,
+                activity_aware=True,
+                aggregation=AggregationMode.LAST_INFERENCE,
+                all_on=True,
+            )
+
+    def test_invalid_rr_length(self):
+        with pytest.raises(ConfigurationError):
+            rr_policy(0)
+
+
+class TestBaselines:
+    def test_baseline_specs(self):
+        assert not Baseline1.pruned
+        assert Baseline2.pruned
+        assert Baseline1.name == "Baseline-1"
+        assert Baseline2.name == "Baseline-2"

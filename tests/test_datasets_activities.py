@@ -1,0 +1,65 @@
+"""Tests for repro.datasets.activities and .body."""
+
+import pytest
+
+from repro.datasets.activities import Activity, ActivityProfile, activity_catalog, profile_of
+from repro.datasets.body import DEPLOYMENT_ORDER, BodyLocation
+from repro.errors import DatasetError
+
+
+class TestActivity:
+    def test_six_activities(self):
+        assert len(Activity) == 6
+
+    def test_label_capitalized(self):
+        assert Activity.WALKING.label == "Walking"
+
+    def test_str(self):
+        assert str(Activity.CYCLING) == "cycling"
+
+
+class TestActivityProfile:
+    def test_catalog_covers_all(self):
+        profiles = activity_catalog(list(Activity))
+        assert len(profiles) == len(Activity)
+        assert all(isinstance(p, ActivityProfile) for p in profiles)
+
+    def test_order_preserved(self):
+        order = [Activity.RUNNING, Activity.WALKING]
+        profiles = activity_catalog(order)
+        assert [p.activity for p in profiles] == order
+
+    def test_running_faster_than_walking(self):
+        assert profile_of(Activity.RUNNING).cadence_hz > profile_of(Activity.WALKING).cadence_hz
+
+    def test_jumping_most_intense(self):
+        intensities = {a: profile_of(a).intensity for a in Activity}
+        assert max(intensities, key=intensities.get) is Activity.JUMPING
+
+    def test_positive_dwell(self):
+        for activity in Activity:
+            assert profile_of(activity).mean_dwell_s > 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(cadence_hz=0), dict(intensity=-1), dict(mean_dwell_s=0)]
+    )
+    def test_invalid_profile_rejected(self, kwargs):
+        params = dict(cadence_hz=1.0, intensity=1.0, mean_dwell_s=10.0)
+        params.update(kwargs)
+        with pytest.raises(DatasetError):
+            ActivityProfile(Activity.WALKING, **params)
+
+
+class TestBodyLocation:
+    def test_three_locations(self):
+        assert len(BodyLocation) == 3
+
+    def test_deployment_order_is_papers(self):
+        assert DEPLOYMENT_ORDER == (
+            BodyLocation.CHEST,
+            BodyLocation.RIGHT_WRIST,
+            BodyLocation.LEFT_ANKLE,
+        )
+
+    def test_labels(self):
+        assert BodyLocation.LEFT_ANKLE.label == "Left Ankle"

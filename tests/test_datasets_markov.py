@@ -1,0 +1,117 @@
+"""Tests for repro.datasets.markov — temporal continuity."""
+
+import pytest
+
+from repro.datasets.activities import Activity
+from repro.datasets.markov import (
+    ActivitySegment,
+    MarkovActivityModel,
+    segments_to_window_labels,
+)
+from repro.errors import ConfigurationError, DatasetError
+
+ACTIVITIES = [Activity.WALKING, Activity.RUNNING, Activity.CYCLING]
+
+
+class TestActivitySegment:
+    def test_end_window(self):
+        segment = ActivitySegment(Activity.WALKING, 3, 4)
+        assert segment.end_window == 7
+
+    @pytest.mark.parametrize("start,n", [(-1, 2), (0, 0)])
+    def test_invalid(self, start, n):
+        with pytest.raises(DatasetError):
+            ActivitySegment(Activity.WALKING, start, n)
+
+
+class TestMarkovActivityModel:
+    def test_segments_cover_exactly(self):
+        model = MarkovActivityModel(ACTIVITIES)
+        segments = model.sample_segments(100, seed=0)
+        assert segments[0].start_window == 0
+        assert segments[-1].end_window == 100
+
+    def test_labels_length(self):
+        model = MarkovActivityModel(ACTIVITIES)
+        assert len(model.sample_labels(57, seed=1)) == 57
+
+    def test_no_self_switch_between_segments(self):
+        model = MarkovActivityModel(ACTIVITIES)
+        segments = model.sample_segments(500, seed=2)
+        for a, b in zip(segments, segments[1:]):
+            assert a.activity is not b.activity
+
+    def test_initial_activity_respected(self):
+        model = MarkovActivityModel(ACTIVITIES)
+        labels = model.sample_labels(10, seed=3, initial=Activity.CYCLING)
+        assert labels[0] is Activity.CYCLING
+
+    def test_continuity_high(self):
+        model = MarkovActivityModel(ACTIVITIES)
+        assert model.empirical_continuity(5000, seed=0) > 0.85
+
+    def test_dwell_scale_increases_continuity(self):
+        short = MarkovActivityModel(ACTIVITIES, dwell_scale=0.5)
+        long = MarkovActivityModel(ACTIVITIES, dwell_scale=5.0)
+        assert long.empirical_continuity(4000, seed=1) > short.empirical_continuity(
+            4000, seed=1
+        )
+
+    def test_mean_dwell_windows(self):
+        model = MarkovActivityModel(ACTIVITIES, window_duration_s=2.56)
+        walking = model.mean_dwell_windows(Activity.WALKING)
+        assert walking == pytest.approx(45.0 / 2.56)
+
+    def test_unknown_activity_dwell_raises(self):
+        model = MarkovActivityModel(ACTIVITIES)
+        with pytest.raises(DatasetError):
+            model.mean_dwell_windows(Activity.JUMPING)
+
+    def test_custom_switch_matrix(self):
+        switch = {Activity.WALKING: {Activity.RUNNING: 1.0}}
+        model = MarkovActivityModel(ACTIVITIES, switch_matrix=switch)
+        segments = model.sample_segments(2000, seed=4, initial=Activity.WALKING)
+        for a, b in zip(segments, segments[1:]):
+            if a.activity is Activity.WALKING:
+                assert b.activity is Activity.RUNNING
+
+    def test_reproducible(self):
+        model = MarkovActivityModel(ACTIVITIES)
+        assert model.sample_labels(50, seed=9) == model.sample_labels(50, seed=9)
+
+    @pytest.mark.parametrize(
+        "activities", [[Activity.WALKING], [Activity.WALKING, Activity.WALKING]]
+    )
+    def test_invalid_activity_sets(self, activities):
+        with pytest.raises(ConfigurationError):
+            MarkovActivityModel(activities)
+
+    def test_invalid_switch_target(self):
+        with pytest.raises(ConfigurationError):
+            MarkovActivityModel(
+                ACTIVITIES, switch_matrix={Activity.WALKING: {Activity.JUMPING: 1.0}}
+            )
+
+    def test_all_zero_switch_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MarkovActivityModel(
+                ACTIVITIES, switch_matrix={Activity.WALKING: {Activity.WALKING: 1.0}}
+            )
+
+
+class TestSegmentsToLabels:
+    def test_expansion(self):
+        segments = [
+            ActivitySegment(Activity.WALKING, 0, 2),
+            ActivitySegment(Activity.RUNNING, 2, 1),
+        ]
+        labels = segments_to_window_labels(segments)
+        assert labels == [Activity.WALKING, Activity.WALKING, Activity.RUNNING]
+
+    def test_gap_rejected(self):
+        segments = [
+            ActivitySegment(Activity.WALKING, 0, 2),
+            ActivitySegment(Activity.RUNNING, 3, 1),
+        ]
+        with pytest.raises(DatasetError):
+            segments_to_window_labels(segments)

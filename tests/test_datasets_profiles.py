@@ -1,0 +1,123 @@
+"""Tests for repro.datasets.profiles — signatures and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.activities import Activity
+from repro.datasets.body import BodyLocation
+from repro.datasets.profiles import (
+    ActivitySignature,
+    SignatureTable,
+    mhealth_signatures,
+    pamap2_signatures,
+)
+from repro.errors import DatasetError
+
+
+def _signature(**overrides):
+    params = dict(
+        frequency_hz=2.0,
+        harmonics=(1.0, 0.5),
+        accel_amplitude=(1.0, 2.0, 1.0),
+        gyro_amplitude=(0.5, 0.5, 0.5),
+        gravity=(0.0, 9.81, 0.0),
+    )
+    params.update(overrides)
+    return ActivitySignature(**params)
+
+
+class TestActivitySignature:
+    def test_vector_roundtrip(self):
+        sig = _signature(impact=1.5)
+        vector = sig.as_vector()
+        rebuilt = ActivitySignature.from_vector(vector, n_harmonics=2, jitter=sig.jitter)
+        np.testing.assert_allclose(rebuilt.as_vector(), vector)
+
+    def test_from_vector_clamps_negatives(self):
+        sig = _signature()
+        vector = sig.as_vector()
+        vector[1] = -0.5  # negative harmonic weight
+        rebuilt = ActivitySignature.from_vector(vector, 2, jitter=0.1)
+        assert rebuilt.harmonics[0] == 0.0
+
+    def test_wrong_vector_size_rejected(self):
+        with pytest.raises(DatasetError):
+            ActivitySignature.from_vector(np.zeros(3), 2, jitter=0.1)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [dict(frequency_hz=0), dict(harmonics=()), dict(gravity=(0.0, 1.0))],
+    )
+    def test_invalid_rejected(self, overrides):
+        with pytest.raises(DatasetError):
+            _signature(**overrides)
+
+
+class TestMHealthSignatures:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return mhealth_signatures()
+
+    def test_complete(self, table):
+        assert len(table.activities) == 6
+        for location in BodyLocation:
+            for activity in table.activities:
+                assert table.signature(location, activity) is not None
+
+    def test_noise_per_location(self, table):
+        for location in BodyLocation:
+            assert table.noise(location) > 0
+
+    def test_wrist_noisier_than_ankle(self, table):
+        # The wrist is the weakest classifier in Fig. 2.
+        assert table.noise(BodyLocation.RIGHT_WRIST) > table.noise(BodyLocation.LEFT_ANKLE)
+
+    def test_chest_frequency_doubled(self, table):
+        # The torso bounces at 2x the stride frequency.
+        chest = table.signature(BodyLocation.CHEST, Activity.RUNNING)
+        ankle = table.signature(BodyLocation.LEFT_ANKLE, Activity.RUNNING)
+        assert chest.frequency_hz > ankle.frequency_hz
+
+    def test_unknown_pair_raises(self, table):
+        pamap = pamap2_signatures()
+        with pytest.raises(DatasetError):
+            pamap.signature(BodyLocation.CHEST, Activity.JOGGING)
+
+    def test_low_distinctiveness_widens_jitter(self, table):
+        # The wrist's walking signature is blended hard toward the mean
+        # and should carry more within-class jitter than the ankle's.
+        wrist = table.signature(BodyLocation.RIGHT_WRIST, Activity.WALKING)
+        ankle = table.signature(BodyLocation.LEFT_ANKLE, Activity.WALKING)
+        assert wrist.jitter > ankle.jitter
+
+
+class TestPamap2Signatures:
+    def test_five_activities_no_jogging(self):
+        table = pamap2_signatures()
+        assert len(table.activities) == 5
+        assert Activity.JOGGING not in table.activities
+
+
+class TestSignatureTableValidation:
+    def test_missing_signature_rejected(self):
+        good = mhealth_signatures()
+        partial = {
+            key: value
+            for key, value in good.signatures.items()
+            if key[1] is not Activity.WALKING
+        }
+        with pytest.raises(DatasetError):
+            SignatureTable(
+                signatures=partial,
+                sensor_noise=good.sensor_noise,
+                activities=good.activities,
+            )
+
+    def test_missing_noise_rejected(self):
+        good = mhealth_signatures()
+        with pytest.raises(DatasetError):
+            SignatureTable(
+                signatures=good.signatures,
+                sensor_noise={BodyLocation.CHEST: 0.5},
+                activities=good.activities,
+            )

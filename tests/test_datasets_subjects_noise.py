@@ -1,0 +1,92 @@
+"""Tests for repro.datasets.subjects and .noise."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.noise import add_gaussian_noise_snr
+from repro.datasets.profiles import N_CHANNELS
+from repro.datasets.subjects import SubjectProfile, sample_subjects
+from repro.errors import DatasetError
+from repro.utils.stats import signal_power, snr_db
+
+
+class TestSubjectProfile:
+    def test_canonical_is_identity(self):
+        subject = SubjectProfile.canonical()
+        assert subject.frequency_scale == 1.0
+        assert subject.amplitude_scale == 1.0
+        assert subject.channel_gains == (1.0,) * N_CHANNELS
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(frequency_scale=0),
+            dict(amplitude_scale=-1),
+            dict(channel_gains=(1.0,) * 3),
+            dict(channel_gains=(0.0,) * N_CHANNELS),
+            dict(noise_factor=-0.1),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            SubjectProfile(subject_id=0, **kwargs)
+
+
+class TestSampleSubjects:
+    def test_count_and_ids(self):
+        subjects = sample_subjects(4, seed=0, first_id=10)
+        assert [s.subject_id for s in subjects] == [10, 11, 12, 13]
+
+    def test_reproducible(self):
+        a = sample_subjects(3, seed=5)
+        b = sample_subjects(3, seed=5)
+        assert a == b
+
+    def test_zero_variability_is_nearly_canonical(self):
+        (subject,) = sample_subjects(1, seed=1, variability=0.0)
+        assert subject.frequency_scale == pytest.approx(1.0)
+        assert subject.amplitude_scale == pytest.approx(1.0)
+
+    def test_higher_variability_strays_further(self):
+        mild = sample_subjects(40, seed=2, variability=0.5)
+        wild = sample_subjects(40, seed=2, variability=3.0)
+        spread = lambda subs: np.std([s.amplitude_scale for s in subs])
+        assert spread(wild) > spread(mild)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatasetError):
+            sample_subjects(-1, seed=0)
+
+    def test_empty(self):
+        assert sample_subjects(0, seed=0) == []
+
+
+class TestAddGaussianNoiseSnr:
+    def test_snr_is_respected(self):
+        rng_signal = np.random.default_rng(0).normal(0, 1, size=(4, 6, 256))
+        noisy = add_gaussian_noise_snr(rng_signal, snr_db=20.0, seed=1)
+        noise = noisy - rng_signal
+        assert snr_db(rng_signal, noise) == pytest.approx(20.0, abs=0.5)
+
+    def test_lower_snr_means_more_noise(self):
+        signal = np.ones((6, 128))
+        hi = add_gaussian_noise_snr(signal, 30.0, seed=2)
+        lo = add_gaussian_noise_snr(signal, 5.0, seed=2)
+        assert signal_power(lo - signal) > signal_power(hi - signal)
+
+    def test_input_unchanged(self):
+        signal = np.ones((3, 8))
+        add_gaussian_noise_snr(signal, 10.0, seed=0)
+        np.testing.assert_array_equal(signal, np.ones((3, 8)))
+
+    def test_dtype_preserved(self):
+        signal = np.ones((3, 8), dtype=np.float32)
+        assert add_gaussian_noise_snr(signal, 10.0, seed=0).dtype == np.float32
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            add_gaussian_noise_snr(np.array([]), 10.0)
+
+    def test_nan_snr_rejected(self):
+        with pytest.raises(DatasetError):
+            add_gaussian_noise_snr(np.ones(4), float("nan"))

@@ -1,0 +1,112 @@
+"""Tests for repro.datasets.synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.activities import Activity
+from repro.datasets.body import BodyLocation
+from repro.datasets.profiles import N_CHANNELS, mhealth_signatures
+from repro.datasets.subjects import SubjectProfile
+from repro.datasets.synthesis import SignalSynthesizer, StyleWobble
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return SignalSynthesizer(mhealth_signatures())
+
+
+class TestWindowGeneration:
+    def test_shape_and_dtype(self, synth):
+        window = synth.window(Activity.WALKING, BodyLocation.CHEST, seed=0)
+        assert window.shape == (N_CHANNELS, 128)
+        assert window.dtype == np.float32
+
+    def test_batch_shape(self, synth):
+        batch = synth.batch(Activity.RUNNING, BodyLocation.LEFT_ANKLE, count=5, seed=0)
+        assert batch.shape == (5, N_CHANNELS, 128)
+
+    def test_reproducible_with_seed(self, synth):
+        a = synth.window(Activity.CYCLING, BodyLocation.RIGHT_WRIST, seed=3)
+        b = synth.window(Activity.CYCLING, BodyLocation.RIGHT_WRIST, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_windows_differ_within_class(self, synth):
+        batch = synth.batch(Activity.WALKING, BodyLocation.CHEST, count=2, seed=0)
+        assert not np.allclose(batch[0], batch[1])
+
+    def test_gravity_offset_present(self, synth):
+        # Accelerometer y-axis should carry roughly 1 g on average.
+        window = synth.window(Activity.WALKING, BodyLocation.LEFT_ANKLE, seed=1)
+        assert 5.0 < window[1].mean() < 15.0
+
+    def test_gyro_has_no_gravity(self, synth):
+        batch = synth.batch(Activity.WALKING, BodyLocation.LEFT_ANKLE, 10, seed=1)
+        assert abs(batch[:, 3:, :].mean()) < 1.0
+
+    def test_running_more_energetic_than_cycling_at_chest(self, synth):
+        run = synth.batch(Activity.RUNNING, BodyLocation.CHEST, 8, seed=2)
+        cyc = synth.batch(Activity.CYCLING, BodyLocation.CHEST, 8, seed=2)
+        energy = lambda x: np.var(x[:, :3, :])
+        assert energy(run) > energy(cyc)
+
+    def test_invalid_count(self, synth):
+        with pytest.raises(DatasetError):
+            synth.batch(Activity.WALKING, BodyLocation.CHEST, count=0)
+
+    def test_window_duration(self, synth):
+        assert synth.window_duration_s == pytest.approx(128 / 50.0)
+
+
+class TestSubjectEffects:
+    def test_subject_changes_signal(self, synth):
+        base = synth.window(Activity.WALKING, BodyLocation.CHEST, seed=5)
+        subject = SubjectProfile(
+            subject_id=1, frequency_scale=1.1, amplitude_scale=1.3
+        )
+        shifted = synth.window(Activity.WALKING, BodyLocation.CHEST, subject, seed=5)
+        assert not np.allclose(base, shifted)
+
+    def test_noise_factor_scales_noise(self, synth):
+        quiet = SubjectProfile(subject_id=1, noise_factor=0.01)
+        loud = SubjectProfile(subject_id=2, noise_factor=3.0)
+        a = synth.batch(Activity.CYCLING, BodyLocation.CHEST, 6, quiet, seed=7)
+        b = synth.batch(Activity.CYCLING, BodyLocation.CHEST, 6, loud, seed=7)
+        # High-frequency residual differs strongly with noise.
+        assert np.var(np.diff(b)) > np.var(np.diff(a))
+
+
+class TestStyleWobble:
+    def test_identity_default(self):
+        style = StyleWobble()
+        assert style.amplitude_scale == 1.0
+
+    def test_sample_positive(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            style = StyleWobble.sample(rng)
+            assert style.amplitude_scale > 0
+            assert style.frequency_scale > 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(DatasetError):
+            StyleWobble(amplitude_scale=0.0)
+
+    def test_shared_style_correlates_locations(self, synth):
+        # The same big wobble raises energy at every location.
+        big = StyleWobble(amplitude_scale=2.5)
+        small = StyleWobble(amplitude_scale=0.4)
+        for location in (BodyLocation.CHEST, BodyLocation.LEFT_ANKLE):
+            a = synth.batch(Activity.RUNNING, location, 6, seed=1, style=big)
+            b = synth.batch(Activity.RUNNING, location, 6, seed=1, style=small)
+            assert np.var(a[:, :3]) > np.var(b[:, :3])
+
+
+class TestConstruction:
+    def test_invalid_sample_rate(self):
+        with pytest.raises(DatasetError):
+            SignalSynthesizer(mhealth_signatures(), sample_rate_hz=0)
+
+    def test_tiny_window_rejected(self):
+        with pytest.raises(DatasetError):
+            SignalSynthesizer(mhealth_signatures(), window_size=4)

@@ -1,0 +1,183 @@
+"""Tests for Capacitor, Harvester, NVP and budget helpers."""
+
+import numpy as np
+import pytest
+
+from repro.energy.budget import average_power_budget, inference_energy_budget
+from repro.energy.harvester import Harvester
+from repro.energy.nvp import NonVolatileProcessor, TaskState
+from repro.energy.storage import Capacitor
+from repro.energy.traces import PowerTrace
+from repro.errors import EnergyModelError, SimulationError
+
+
+class TestCapacitor:
+    def test_deposit_and_draw(self):
+        cap = Capacitor(capacity_j=10.0)
+        assert cap.deposit(4.0) == 4.0
+        assert cap.draw(1.5) == 1.5
+        assert cap.stored_j == pytest.approx(2.5)
+
+    def test_ceiling_sheds(self):
+        cap = Capacitor(capacity_j=5.0)
+        accepted = cap.deposit(8.0)
+        assert accepted == 5.0
+        assert cap.shed_j == 3.0
+        assert cap.headroom_j == 0.0
+
+    def test_draw_limited_to_stored(self):
+        cap = Capacitor(capacity_j=5.0, initial_j=1.0)
+        assert cap.draw(3.0) == 1.0
+        assert cap.stored_j == 0.0
+
+    def test_can_supply(self):
+        cap = Capacitor(capacity_j=5.0, initial_j=2.0)
+        assert cap.can_supply(2.0)
+        assert not cap.can_supply(2.1)
+
+    def test_leakage(self):
+        cap = Capacitor(capacity_j=5.0, initial_j=1.0, leakage_w=0.1)
+        lost = cap.leak(5.0)
+        assert lost == pytest.approx(0.5)
+        assert cap.leaked_j == pytest.approx(0.5)
+
+    def test_leak_cannot_go_negative(self):
+        cap = Capacitor(capacity_j=5.0, initial_j=0.1, leakage_w=1.0)
+        cap.leak(10.0)
+        assert cap.stored_j == 0.0
+
+    def test_initial_clamped(self):
+        cap = Capacitor(capacity_j=2.0, initial_j=5.0)
+        assert cap.stored_j == 2.0
+
+    def test_fill_fraction(self):
+        cap = Capacitor(capacity_j=4.0, initial_j=1.0)
+        assert cap.fill_fraction() == 0.25
+
+    def test_reset(self):
+        cap = Capacitor(capacity_j=5.0)
+        cap.deposit(10.0)
+        cap.reset(1.0)
+        assert cap.stored_j == 1.0
+        assert cap.shed_j == 0.0
+
+    def test_negative_operations_rejected(self):
+        cap = Capacitor(capacity_j=5.0)
+        with pytest.raises(EnergyModelError):
+            cap.deposit(-1.0)
+        with pytest.raises(EnergyModelError):
+            cap.draw(-1.0)
+        with pytest.raises(EnergyModelError):
+            cap.leak(-1.0)
+
+
+class TestHarvester:
+    @pytest.fixture
+    def harvester(self):
+        trace = PowerTrace(dt_s=1.0, watts=np.array([2.0, 4.0]))
+        return Harvester(trace, efficiency=0.5, gain=2.0)
+
+    def test_energy_scaled_by_efficiency_and_gain(self, harvester):
+        assert harvester.energy_between(0.0, 2.0) == pytest.approx(6.0)
+
+    def test_slot_energies(self, harvester):
+        np.testing.assert_allclose(harvester.slot_energies(1.0), [2.0, 4.0])
+
+    def test_average_power(self, harvester):
+        assert harvester.average_power_w == pytest.approx(3.0)
+
+    def test_zero_efficiency_rejected(self):
+        trace = PowerTrace(1.0, np.array([1.0]))
+        with pytest.raises(EnergyModelError):
+            Harvester(trace, efficiency=0.0)
+
+
+class TestNonVolatileProcessor:
+    def test_completes_in_one_burst(self):
+        nvp = NonVolatileProcessor(checkpoint_overhead=0.0)
+        nvp.start_task(1.0)
+        outcome = nvp.execute_burst(2.0)
+        assert outcome.completed
+        assert outcome.consumed_j == pytest.approx(1.0)
+        assert nvp.state is TaskState.COMPLETED
+        assert nvp.completed_tasks == 1
+
+    def test_progress_survives_across_bursts(self):
+        nvp = NonVolatileProcessor(checkpoint_overhead=0.0)
+        nvp.start_task(1.0)
+        assert not nvp.execute_burst(0.4).completed
+        assert nvp.remaining_work_j == pytest.approx(0.6)
+        assert nvp.execute_burst(0.7).completed
+
+    def test_checkpoint_overhead_inflates_cost(self):
+        nvp = NonVolatileProcessor(checkpoint_overhead=0.2)
+        nvp.start_task(0.8)
+        outcome = nvp.execute_burst(10.0)
+        assert outcome.consumed_j == pytest.approx(1.0)  # 0.8 / 0.8
+
+    def test_volatile_loses_progress(self):
+        nvp = NonVolatileProcessor(checkpoint_overhead=0.0, volatile=True)
+        nvp.start_task(1.0)
+        nvp.execute_burst(0.9)
+        assert nvp.progress_fraction == 0.0
+        assert nvp.remaining_work_j == pytest.approx(1.0)
+
+    def test_acknowledge_returns_to_idle(self):
+        nvp = NonVolatileProcessor()
+        nvp.start_task(0.1)
+        nvp.execute_burst(1.0)
+        nvp.acknowledge_completion()
+        assert nvp.state is TaskState.IDLE
+
+    def test_double_start_rejected(self):
+        nvp = NonVolatileProcessor()
+        nvp.start_task(1.0)
+        with pytest.raises(SimulationError):
+            nvp.start_task(1.0)
+
+    def test_burst_without_task_rejected(self):
+        with pytest.raises(SimulationError):
+            NonVolatileProcessor().execute_burst(1.0)
+
+    def test_abort_counts(self):
+        nvp = NonVolatileProcessor()
+        nvp.start_task(1.0)
+        nvp.abort()
+        assert nvp.aborted_tasks == 1
+        assert nvp.state is TaskState.IDLE
+
+    def test_acknowledge_without_completion_rejected(self):
+        with pytest.raises(SimulationError):
+            NonVolatileProcessor().acknowledge_completion()
+
+    def test_progress_fraction(self):
+        nvp = NonVolatileProcessor(checkpoint_overhead=0.0)
+        nvp.start_task(2.0)
+        nvp.execute_burst(1.0)
+        assert nvp.progress_fraction == pytest.approx(0.5)
+
+
+class TestBudget:
+    def test_average_power_budget(self):
+        traces = [
+            PowerTrace(1.0, np.array([2.0, 2.0])),
+            PowerTrace(1.0, np.array([4.0, 4.0])),
+        ]
+        assert average_power_budget(traces) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EnergyModelError):
+            average_power_budget([])
+
+    def test_inference_budget_basic(self):
+        assert inference_energy_budget(30e-6, 2.56) == pytest.approx(76.8e-6)
+
+    def test_rr_relaxation(self):
+        # Paper SIII-D: the ER-r policy relaxes the constraint.
+        tight = inference_energy_budget(30e-6, 2.56, rr_cycle_slots=1)
+        relaxed = inference_energy_budget(30e-6, 2.56, rr_cycle_slots=12, duty_nodes=3)
+        assert relaxed == pytest.approx(4 * tight)
+
+    def test_duty_exceeds_cycle_rejected(self):
+        with pytest.raises(EnergyModelError):
+            inference_energy_budget(1.0, 1.0, rr_cycle_slots=2, duty_nodes=3)

@@ -1,0 +1,241 @@
+"""Tests for losses, optimizers, Sequential, Trainer and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import (
+    SGD,
+    Adam,
+    CrossEntropyLoss,
+    Sequential,
+    Trainer,
+    accuracy,
+    build_har_cnn,
+    confusion_matrix,
+    macro_f1,
+    per_class_accuracy,
+)
+from repro.nn.layers import Dense, ReLU
+from repro.nn.metrics import accuracy_by_class_report, topk_accuracy
+
+
+def tiny_classifier(seed=0):
+    return Sequential([Dense(8, seed=seed), ReLU(), Dense(3, seed=seed + 1)]).build((4,))
+
+
+def blob_data(n=120, seed=0):
+    """Three linearly separable blobs in 4-D."""
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [[3, 0, 0, 0], [0, 3, 0, 0], [0, 0, 3, 0]], dtype=float
+    )
+    y = rng.integers(0, 3, size=n)
+    X = centers[y] + rng.normal(0, 0.5, size=(n, 4))
+    return X, y
+
+
+class TestCrossEntropyLoss:
+    def test_perfect_prediction_low_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-4
+
+    def test_uniform_loss_is_log_classes(self):
+        loss = CrossEntropyLoss()
+        logits = np.zeros((4, 5))
+        assert loss.forward(logits, np.array([0, 1, 2, 3])) == pytest.approx(np.log(5))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ModelError):
+            CrossEntropyLoss().backward()
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ModelError):
+            CrossEntropyLoss().forward(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ModelError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        param = np.array([4.0])
+        sgd = SGD(learning_rate=0.1)
+        for _ in range(100):
+            sgd.step([(param, 2 * param)])  # d/dx x^2
+        assert abs(param[0]) < 1e-3
+
+    def test_sgd_momentum_accelerates(self):
+        plain, fast = np.array([4.0]), np.array([4.0])
+        sgd = SGD(learning_rate=0.01)
+        sgd_m = SGD(learning_rate=0.01, momentum=0.9)
+        for _ in range(20):
+            sgd.step([(plain, 2 * plain)])
+            sgd_m.step([(fast, 2 * fast)])
+        assert abs(fast[0]) < abs(plain[0])
+
+    def test_adam_descends(self):
+        param = np.array([4.0, -3.0])
+        adam = Adam(learning_rate=0.1)
+        for _ in range(200):
+            adam.step([(param, 2 * param)])
+        np.testing.assert_allclose(param, 0.0, atol=1e-2)
+
+    def test_adam_state_is_per_parameter(self):
+        a, b = np.array([1.0]), np.array([100.0])
+        adam = Adam(learning_rate=0.1)
+        adam.step([(a, np.array([1.0])), (b, np.array([1.0]))])
+        # Bias-corrected first step is -lr * sign(grad) for both.
+        assert a[0] == pytest.approx(0.9, abs=1e-6)
+        assert b[0] == pytest.approx(99.9, abs=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            SGD().step([(np.zeros(3), np.zeros(4))])
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(Exception):
+            SGD(learning_rate=0)
+        with pytest.raises(ModelError):
+            Adam(beta1=1.0)
+        with pytest.raises(ModelError):
+            SGD(momentum=1.0)
+
+
+class TestSequential:
+    def test_build_infers_shapes(self):
+        model = tiny_classifier()
+        assert model.output_shape == (3,)
+
+    def test_forward_before_build(self):
+        model = Sequential([Dense(2, seed=0)])
+        with pytest.raises(ModelError):
+            model.forward(np.zeros((1, 4)))
+
+    def test_predict_proba_rows_sum_to_one(self):
+        model = tiny_classifier()
+        probs = model.predict_proba(np.random.default_rng(0).random((10, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_batching_consistent(self):
+        model = tiny_classifier()
+        X = np.random.default_rng(0).random((20, 4))
+        np.testing.assert_array_equal(
+            model.predict(X, batch_size=7), model.predict(X, batch_size=20)
+        )
+
+    def test_state_dict_roundtrip(self):
+        model_a = tiny_classifier(seed=0)
+        model_b = tiny_classifier(seed=99)
+        model_b.load_state_dict(model_a.state_dict())
+        x = np.random.default_rng(1).random((5, 4))
+        np.testing.assert_allclose(model_a.predict_logits(x), model_b.predict_logits(x))
+
+    def test_state_dict_mismatch_rejected(self):
+        model = tiny_classifier()
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(ModelError):
+            model.load_state_dict(state)
+
+    def test_summary_contains_layers(self):
+        summary = tiny_classifier().summary()
+        assert "Dense" in summary
+        assert "total" in summary
+
+    def test_n_params(self):
+        assert tiny_classifier().n_params() == (4 * 8 + 8) + (8 * 3 + 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Sequential([])
+
+
+class TestTrainer:
+    def test_learns_separable_blobs(self):
+        X, y = blob_data()
+        model = tiny_classifier()
+        trainer = Trainer(model, optimizer=Adam(learning_rate=0.01))
+        history = trainer.fit(X, y, epochs=30, batch_size=16, seed=0)
+        assert history.train_accuracy[-1] > 0.95
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_early_stopping_restores_best(self):
+        X, y = blob_data()
+        Xv, yv = blob_data(40, seed=1)
+        model = tiny_classifier()
+        trainer = Trainer(model, optimizer=Adam(learning_rate=0.01))
+        history = trainer.fit(
+            X, y, epochs=60, batch_size=16, seed=0,
+            validation=(Xv, yv), early_stopping_patience=3,
+        )
+        assert history.n_epochs <= 60
+        assert history.best_epoch >= 0
+        best_val = max(history.val_accuracy)
+        assert accuracy(yv, model.predict(Xv)) == pytest.approx(best_val, abs=1e-9)
+
+    def test_reproducible_training(self):
+        X, y = blob_data()
+        histories = []
+        for _ in range(2):
+            model = tiny_classifier(seed=3)
+            histories.append(
+                Trainer(model, optimizer=Adam(0.01)).fit(
+                    X, y, epochs=5, batch_size=16, seed=7
+                )
+            )
+        assert histories[0].train_loss == histories[1].train_loss
+
+    def test_size_mismatch(self):
+        with pytest.raises(ModelError):
+            Trainer(tiny_classifier()).fit(np.zeros((3, 4)), np.zeros(2))
+
+    def test_har_cnn_trains_on_blobs_of_windows(self):
+        # Smoke: the real architecture wires up and optimizes.
+        model = build_har_cnn(3, 32, 2, seed=0)
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(40, 3, 32))
+        y = (X[:, 0].mean(axis=1) > 0).astype(int)
+        X[y == 1] += 1.5
+        history = Trainer(model, optimizer=Adam(0.005)).fit(
+            X, y, epochs=15, batch_size=8, seed=1
+        )
+        assert history.train_accuracy[-1] > 0.8
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy([0, 1, 1], [0, 1, 0]) == pytest.approx(2 / 3)
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([0, 0, 1], [0, 1, 1], n_classes=2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_per_class_accuracy(self):
+        result = per_class_accuracy([0, 0, 1, 2], [0, 1, 1, 0], 3)
+        np.testing.assert_allclose(result, [0.5, 1.0, 0.0])
+
+    def test_macro_f1_perfect(self):
+        assert macro_f1([0, 1, 2], [0, 1, 2], 3) == pytest.approx(1.0)
+
+    def test_macro_f1_worst(self):
+        assert macro_f1([0, 0, 0], [1, 1, 1], 2) == 0.0
+
+    def test_topk(self):
+        probs = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        assert topk_accuracy([1, 0], probs, k=1) == 0.0
+        assert topk_accuracy([1, 1], probs, k=2) == 1.0
+
+    def test_topk_invalid_k(self):
+        with pytest.raises(ModelError):
+            topk_accuracy([0], np.array([[1.0, 0.0]]), k=3)
+
+    def test_report(self):
+        report = accuracy_by_class_report([0, 1], [0, 1], ["a", "b"])
+        assert report == {"a": 1.0, "b": 1.0, "overall": 1.0}
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ModelError):
+            accuracy([], [])

@@ -1,0 +1,68 @@
+"""Package-surface sanity: public exports resolve and stay consistent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PUBLIC_MODULES = [
+    "repro.datasets",
+    "repro.nn",
+    "repro.energy",
+    "repro.wsn",
+    "repro.core",
+    "repro.sim",
+    "repro.reporting",
+    "repro.utils",
+    "repro.errors",
+]
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            ConfigurationError,
+            DatasetError,
+            EnergyModelError,
+            ModelError,
+            ReproError,
+            SchedulingError,
+            SimulationError,
+        )
+
+        for error_type in (
+            ConfigurationError,
+            DatasetError,
+            EnergyModelError,
+            ModelError,
+            SchedulingError,
+            SimulationError,
+        ):
+            assert issubclass(error_type, ReproError)
+        # Catchable as builtin categories too.
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(SimulationError, RuntimeError)
+
+    def test_core_reexports_match_submodules(self):
+        from repro.core import OriginPolicy, origin_policy
+        from repro.core.policies import OriginPolicy as Direct
+
+        assert OriginPolicy is Direct
+        assert OriginPolicy.with_rr(12) == origin_policy(12)
+
+    def test_no_import_cycles_on_fresh_import(self):
+        # Re-importing top-level packages should be cheap and safe.
+        for module_name in PUBLIC_MODULES:
+            importlib.reload(importlib.import_module(module_name))

@@ -1,0 +1,69 @@
+"""Tests for the Fig. 6 personalization experiment (short horizon)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.personalization import PersonalizationExperiment, PersonalizationResult
+
+
+@pytest.fixture(scope="module")
+def study_result(tiny_experiment_module):
+    experiment = PersonalizationExperiment(
+        tiny_experiment_module,
+        checkpoints=(1, 5, 20),
+        windows_per_iteration=8,
+        measure_window_iters=5,
+    )
+    return experiment.run(n_users=2, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_experiment_module(request):
+    # Re-use the session fixtures through a module alias so the heavy
+    # bundle trains once.
+    return request.getfixturevalue("tiny_experiment")
+
+
+class TestPersonalizationExperiment:
+    def test_result_structure(self, study_result):
+        assert isinstance(study_result, PersonalizationResult)
+        assert study_result.checkpoints == [1, 5, 20]
+        assert len(study_result.per_user_accuracy) == 2
+        for trajectory in study_result.per_user_accuracy.values():
+            assert len(trajectory) == 3
+            assert all(0.0 <= acc <= 1.0 for acc in trajectory)
+
+    def test_base_accuracy_in_range(self, study_result):
+        assert 0.0 < study_result.base_accuracy <= 1.0
+
+    def test_accessors(self, study_result):
+        uid = next(iter(study_result.per_user_accuracy))
+        assert study_result.user_final_accuracy(uid) == study_result.per_user_accuracy[uid][-1]
+        assert study_result.user_initial_accuracy(uid) == study_result.per_user_accuracy[uid][0]
+
+    def test_summary_renders(self, study_result):
+        text = study_result.summary()
+        assert "iteration" in text
+        assert "base model accuracy" in text
+
+    def test_adaptive_flag_controls_matrix(self, tiny_experiment_module):
+        experiment = PersonalizationExperiment(
+            tiny_experiment_module, checkpoints=(1, 3), windows_per_iteration=5
+        )
+        frozen = experiment.run(n_users=1, seed=2, adaptive=False)
+        adapted = experiment.run(n_users=1, seed=2, adaptive=True)
+        # Same users/seeds: trajectories exist for both, adaptation may
+        # change them but never produces invalid values.
+        for res in (frozen, adapted):
+            for trajectory in res.per_user_accuracy.values():
+                assert len(trajectory) == 2
+
+    def test_invalid_checkpoints(self, tiny_experiment_module):
+        with pytest.raises(ConfigurationError):
+            PersonalizationExperiment(tiny_experiment_module, checkpoints=(5, 1))
+        with pytest.raises(ConfigurationError):
+            PersonalizationExperiment(tiny_experiment_module, checkpoints=())
+
+    def test_invalid_windows_per_iteration(self, tiny_experiment_module):
+        with pytest.raises(ConfigurationError):
+            PersonalizationExperiment(tiny_experiment_module, windows_per_iteration=0)

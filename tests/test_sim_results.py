@@ -1,0 +1,116 @@
+"""Tests for result containers."""
+
+import pytest
+
+from repro.datasets.activities import Activity
+from repro.errors import SimulationError
+from repro.sim.results import CompletionBreakdown, ExperimentResult, SlotRecord
+
+ACTIVITIES = [Activity.WALKING, Activity.RUNNING]
+
+
+def record(slot, true, pred, active=(0,), completions=1, attempts=1):
+    return SlotRecord(
+        slot_index=slot,
+        true_label=true,
+        predicted_label=pred,
+        active_nodes=tuple(active),
+        completions=completions,
+        attempts=attempts,
+    )
+
+
+def result_with(records):
+    result = ExperimentResult(policy_name="test", activities=ACTIVITIES)
+    result.records = records
+    return result
+
+
+class TestSlotRecord:
+    def test_correct(self):
+        assert record(0, 1, 1).correct
+        assert not record(0, 1, 0).correct
+        assert not record(0, 1, None).correct
+
+
+class TestCompletionBreakdown:
+    def test_fractions(self):
+        breakdown = CompletionBreakdown(10, 1, 2, 7)
+        assert breakdown.all_fraction == 0.1
+        assert breakdown.some_fraction == 0.2
+        assert breakdown.any_fraction == pytest.approx(0.3)
+        assert breakdown.failed_fraction == 0.7
+
+    def test_must_add_up(self):
+        with pytest.raises(SimulationError):
+            CompletionBreakdown(10, 5, 5, 5)
+
+    def test_empty(self):
+        breakdown = CompletionBreakdown(0, 0, 0, 0)
+        assert breakdown.all_fraction == 0.0
+
+
+class TestExperimentResult:
+    def test_overall_accuracy(self):
+        result = result_with([record(0, 0, 0), record(1, 1, 0), record(2, 1, None)])
+        assert result.overall_accuracy == pytest.approx(1 / 3)
+
+    def test_per_activity_accuracy(self):
+        result = result_with([record(0, 0, 0), record(1, 0, 1), record(2, 1, 1)])
+        per = result.per_activity_accuracy()
+        assert per[Activity.WALKING] == 0.5
+        assert per[Activity.RUNNING] == 1.0
+
+    def test_event_accuracy_ignores_skipped_slots(self):
+        records = [
+            record(0, 0, 0, completions=1),
+            record(1, 0, 1, completions=0, attempts=1),  # failed: not an event
+            record(2, 1, 0, completions=0, attempts=0),  # no-op: not an event
+        ]
+        result = result_with(records)
+        assert result.n_events == 1
+        assert result.event_accuracy == 1.0
+
+    def test_event_accuracy_empty(self):
+        result = result_with([record(0, 0, 0, completions=0, attempts=0)])
+        assert result.event_accuracy == 0.0
+
+    def test_per_activity_event_accuracy(self):
+        records = [record(0, 0, 0), record(1, 1, 0)]
+        per = result_with(records).per_activity_event_accuracy()
+        assert per[Activity.WALKING] == 1.0
+        assert per[Activity.RUNNING] == 0.0
+
+    def test_completion_breakdown_excludes_noops(self):
+        records = [
+            record(0, 0, 0, active=(0, 1), completions=2, attempts=2),
+            record(1, 0, 0, active=(0, 1), completions=1, attempts=2),
+            record(2, 0, 0, active=(0,), completions=0, attempts=1),
+            record(3, 0, 0, active=(), completions=0, attempts=0),
+        ]
+        breakdown = result_with(records).completion_breakdown()
+        assert breakdown.n_slots == 3
+        assert breakdown.slots_all_completed == 1
+        assert breakdown.slots_some_completed == 1
+        assert breakdown.slots_none_completed == 1
+
+    def test_completion_rate(self):
+        result = result_with(
+            [record(0, 0, 0, completions=1, attempts=2)]
+        )
+        assert result.completion_rate == 0.5
+
+    def test_labels_arrays(self):
+        result = result_with([record(0, 0, None), record(1, 1, 0)])
+        assert list(result.true_labels()) == [0, 1]
+        assert list(result.predicted_labels()) == [-1, 0]
+
+    def test_summary_renders(self):
+        result = result_with([record(0, 0, 0)])
+        text = result.summary()
+        assert "test" in text
+        assert "Walking" in text
+
+    def test_empty_accuracy_raises(self):
+        with pytest.raises(SimulationError):
+            _ = result_with([]).overall_accuracy

@@ -1,0 +1,114 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    SeedSequenceFactory,
+    as_generator,
+    iter_batches,
+    permutation_indices,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_children_are_independent(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_reproducible_from_int(self):
+        first = [g.random() for g in spawn_generators(9, 3)]
+        second = [g.random() for g in spawn_generators(9, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestSeedSequenceFactory:
+    def test_same_label_same_stream(self):
+        factory = SeedSequenceFactory(3)
+        a = factory.generator("x").random(4)
+        b = factory.generator("x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        factory = SeedSequenceFactory(3)
+        assert not np.allclose(
+            factory.generator("x").random(8), factory.generator("y").random(8)
+        )
+
+    def test_order_independent(self):
+        f1 = SeedSequenceFactory(3)
+        _ = f1.generator("a")
+        x1 = f1.generator("b").random(4)
+        f2 = SeedSequenceFactory(3)
+        x2 = f2.generator("b").random(4)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_different_root_seeds_differ(self):
+        a = SeedSequenceFactory(1).generator("x").random(8)
+        b = SeedSequenceFactory(2).generator("x").random(8)
+        assert not np.allclose(a, b)
+
+    def test_child_factory_independent(self):
+        parent = SeedSequenceFactory(3)
+        child = parent.child("sub")
+        assert isinstance(child, SeedSequenceFactory)
+        assert child.root_seed != parent.root_seed
+
+    def test_integers_reproducible(self):
+        factory = SeedSequenceFactory(5)
+        assert factory.integers("s", 4) == factory.integers("s", 4)
+        assert len(factory.integers("s", 4)) == 4
+
+
+class TestIterBatches:
+    def test_exact_split(self):
+        assert list(iter_batches([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_remainder(self):
+        assert list(iter_batches([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_empty(self):
+        assert list(iter_batches([], 3)) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iter_batches([1], 0))
+
+
+class TestPermutationIndices:
+    def test_none_rng_identity(self):
+        np.testing.assert_array_equal(permutation_indices(None, 5), np.arange(5))
+
+    def test_rng_permutes(self):
+        result = permutation_indices(np.random.default_rng(0), 100)
+        assert sorted(result) == list(range(100))

@@ -1,0 +1,123 @@
+"""Tests for repro.utils.stats — the confidence metric and EMAs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.stats import (
+    ExponentialMovingAverage,
+    RunningMean,
+    confidence_from_softmax,
+    max_confidence,
+    signal_power,
+    snr_db,
+)
+
+
+class TestConfidenceFromSoftmax:
+    def test_one_hot_is_maximal(self):
+        one_hot = confidence_from_softmax([1, 0, 0, 0])
+        uniform = confidence_from_softmax([0.25, 0.25, 0.25, 0.25])
+        assert one_hot > uniform
+
+    def test_uniform_is_zero(self):
+        assert confidence_from_softmax([0.25] * 4) == pytest.approx(0.0)
+
+    def test_matches_paper_example(self):
+        # VC1 = [0.94, 0.01, 0.02, 0.01] is more confident than
+        # VC2 = [0.80, 0.05, 0.08, 0.07] (paper SIII-C).
+        vc1 = confidence_from_softmax([0.94, 0.01, 0.02, 0.01])
+        vc2 = confidence_from_softmax([0.80, 0.05, 0.08, 0.07])
+        assert vc1 > vc2
+
+    def test_matches_numpy_variance(self):
+        vector = np.array([0.5, 0.3, 0.2])
+        assert confidence_from_softmax(vector) == pytest.approx(np.var(vector))
+
+    def test_rejects_scalar_and_matrix(self):
+        with pytest.raises(ConfigurationError):
+            confidence_from_softmax(np.array(0.5))
+        with pytest.raises(ConfigurationError):
+            confidence_from_softmax(np.eye(2))
+
+
+class TestMaxConfidence:
+    def test_equals_one_hot_variance(self):
+        assert max_confidence(4) == pytest.approx(
+            confidence_from_softmax([1, 0, 0, 0])
+        )
+
+    def test_decreases_with_classes(self):
+        assert max_confidence(2) > max_confidence(10)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ConfigurationError):
+            max_confidence(1)
+
+
+class TestRunningMean:
+    def test_basic(self):
+        mean = RunningMean()
+        for value in [1.0, 2.0, 3.0]:
+            mean.update(value)
+        assert mean.value == pytest.approx(2.0)
+        assert mean.count == 3
+
+    def test_empty_value(self):
+        assert RunningMean().value == 0.0
+
+    def test_merge(self):
+        a, b = RunningMean(), RunningMean()
+        for value in [1.0, 2.0]:
+            a.update(value)
+        for value in [3.0, 4.0]:
+            b.update(value)
+        merged = a.merge(b)
+        assert merged.value == pytest.approx(2.5)
+        assert merged.count == 4
+
+
+class TestExponentialMovingAverage:
+    def test_alpha_one_tracks_input(self):
+        ema = ExponentialMovingAverage(alpha=1.0, initial=5.0)
+        assert ema.update(3.0) == pytest.approx(3.0)
+
+    def test_converges_to_constant(self):
+        ema = ExponentialMovingAverage(alpha=0.5)
+        for _ in range(50):
+            ema.update(10.0)
+        assert ema.value == pytest.approx(10.0, abs=1e-6)
+
+    def test_update_count(self):
+        ema = ExponentialMovingAverage(alpha=0.2)
+        ema.update(1.0)
+        ema.update(2.0)
+        assert ema.updates == 2
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.5, -0.2])
+    def test_invalid_alpha(self, alpha):
+        with pytest.raises(ConfigurationError):
+            ExponentialMovingAverage(alpha=alpha)
+
+
+class TestSignalPower:
+    def test_constant_signal(self):
+        assert signal_power(np.full(10, 2.0)) == pytest.approx(4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            signal_power(np.array([]))
+
+
+class TestSnrDb:
+    def test_equal_power_is_zero_db(self):
+        signal = np.ones(100)
+        assert snr_db(signal, signal) == pytest.approx(0.0)
+
+    def test_zero_noise_is_infinite(self):
+        assert snr_db(np.ones(10), np.zeros(10)) == float("inf")
+
+    def test_ten_db(self):
+        signal = np.full(10, np.sqrt(10.0))
+        noise = np.ones(10)
+        assert snr_db(signal, noise) == pytest.approx(10.0)

@@ -1,0 +1,71 @@
+"""Tests for repro.utils.text."""
+
+import pytest
+
+from repro.utils.text import (
+    format_percent,
+    format_table,
+    horizontal_bar_chart,
+    indent_block,
+)
+
+
+class TestFormatPercent:
+    def test_fraction_input(self):
+        assert format_percent(0.5) == "50.00%"
+
+    def test_percentage_input(self):
+        assert format_percent(83.88) == "83.88%"
+
+    def test_digits(self):
+        assert format_percent(0.12345, digits=1) == "12.3%"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(
+            ["name", "value"], [["walking", 1.234], ["x", 2.0]], float_digits=2
+        )
+        lines = table.splitlines()
+        assert "walking" in lines[2]
+        assert "1.23" in lines[2]
+        assert len(lines) == 4
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_column_widths_consistent(self):
+        table = format_table(["h"], [["a-long-cell"], ["b"]])
+        lines = table.splitlines()
+        # Separator spans the widest cell.
+        assert len(lines[1]) == len("a-long-cell")
+
+
+class TestHorizontalBarChart:
+    def test_basic_render(self):
+        chart = horizontal_bar_chart({"a": 1.0, "b": 2.0}, max_width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10  # max value fills the width
+
+    def test_scales_to_max_value(self):
+        chart = horizontal_bar_chart({"a": 5.0}, max_width=10, max_value=10.0)
+        assert chart.count("█") == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_bar_chart({})
+
+    def test_unit_suffix(self):
+        chart = horizontal_bar_chart({"a": 1.0}, unit="%")
+        assert "1.00%" in chart
+
+
+class TestIndentBlock:
+    def test_indents_nonempty_lines(self):
+        assert indent_block("a\n\nb", "  ") == "  a\n\n  b"

@@ -1,0 +1,92 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    @pytest.mark.parametrize("value", [-0.1, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", value)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int("n", 3) == 3
+
+    @pytest.mark.parametrize("value", [0, -2, 1.5])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("n", value)
+
+
+class TestCheckFraction:
+    def test_inclusive_bounds(self):
+        assert check_fraction("f", 0.0) == 0.0
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", 0.0, inclusive=False)
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", 1.0, inclusive=False)
+        assert check_fraction("f", 0.5, inclusive=False) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", 1.2)
+
+
+class TestCheckInChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("mode", "a", ["a", "b"]) == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            check_in_choices("mode", "c", ["a", "b"])
+
+
+class TestCheckProbabilityVector:
+    def test_valid_vector(self):
+        result = check_probability_vector("p", [0.25, 0.75])
+        np.testing.assert_allclose(result.sum(), 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [-0.1, 1.1])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [0.5, 0.6])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            check_probability_vector("p", [[0.5, 0.5]])

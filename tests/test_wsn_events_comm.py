@@ -1,0 +1,124 @@
+"""Tests for the discrete-event engine and the radio cost model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.wsn.comm import CommLink, RadioProfile
+from repro.wsn.events import EventScheduler
+
+
+class TestEventScheduler:
+    def test_fires_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(2.0, lambda: fired.append("b"))
+        scheduler.schedule(1.0, lambda: fired.append("a"))
+        scheduler.run_all()
+        assert fired == ["a", "b"]
+
+    def test_equal_time_uses_priority_then_fifo(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append("low"), priority=1)
+        scheduler.schedule(1.0, lambda: fired.append("hi"), priority=0)
+        scheduler.schedule(1.0, lambda: fired.append("low2"), priority=1)
+        scheduler.run_all()
+        assert fired == ["hi", "low", "low2"]
+
+    def test_now_advances(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(3.5, lambda: None)
+        scheduler.run_all()
+        assert scheduler.now_s == 3.5
+
+    def test_schedule_in(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.step()
+        event = scheduler.schedule_in(2.0, lambda: None)
+        assert event.time_s == 3.0
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.step()
+        with pytest.raises(SimulationError):
+            scheduler.schedule(1.0, lambda: None)
+
+    def test_run_until_partial(self):
+        scheduler = EventScheduler()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            scheduler.schedule(t, lambda t=t: fired.append(t))
+        assert scheduler.run_until(2.0) == 2
+        assert fired == [1.0, 2.0]
+        assert scheduler.pending == 1
+
+    def test_self_scheduling_events(self):
+        scheduler = EventScheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                scheduler.schedule_in(1.0, tick)
+
+        scheduler.schedule(0.0, tick)
+        scheduler.run_all()
+        assert count[0] == 5
+        assert scheduler.processed == 5
+
+    def test_runaway_guard(self):
+        scheduler = EventScheduler()
+
+        def forever():
+            scheduler.schedule_in(1.0, forever)
+
+        scheduler.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            scheduler.run_all(max_events=100)
+
+    def test_step_empty_returns_none(self):
+        assert EventScheduler().step() is None
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule_in(-1.0, lambda: None)
+
+
+class TestRadioProfile:
+    def test_ble_cheaper_per_message_than_wifi(self):
+        ble, wifi = RadioProfile.ble(), RadioProfile.wifi()
+        assert CommLink(ble).message_cost_j(8) < CommLink(wifi).message_cost_j(8)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(Exception):
+            RadioProfile("x", -1.0, 0.0, 0.0)
+
+
+class TestCommLink:
+    def test_send_accounts(self):
+        link = CommLink(RadioProfile.ble())
+        cost = link.send(6)
+        assert cost == pytest.approx(1.5e-6 + 6 * 0.25e-6)
+        assert link.messages_sent == 1
+        assert link.bytes_sent == 6
+        assert link.energy_spent_j == pytest.approx(cost)
+
+    def test_cost_linear_in_bytes(self):
+        link = CommLink(RadioProfile.ble())
+        assert link.message_cost_j(10) > link.message_cost_j(5)
+
+    def test_paper_assumption_messages_are_cheap(self):
+        """The paper assumes comm cost negligible: a result message must
+        cost far less than one pruned inference (~60 uJ)."""
+        link = CommLink(RadioProfile.ble())
+        assert link.message_cost_j(6) < 10e-6
+
+    def test_invalid_bytes(self):
+        with pytest.raises(Exception):
+            CommLink(RadioProfile.ble()).send(0)
+
+    def test_invalid_profile(self):
+        with pytest.raises(Exception):
+            CommLink("not a profile")

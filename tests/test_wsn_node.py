@@ -1,0 +1,263 @@
+"""Tests for SensorNode, HostDevice and BodyAreaNetwork."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.body import BodyLocation
+from repro.energy.harvester import Harvester
+from repro.energy.nvp import NonVolatileProcessor
+from repro.energy.storage import Capacitor
+from repro.energy.traces import PowerTrace
+from repro.errors import SimulationError
+from repro.nn import Sequential, build_har_cnn
+from repro.wsn.comm import CommLink, RadioProfile
+from repro.wsn.host import HostDevice, ReceivedVote
+from repro.wsn.network import BodyAreaNetwork
+from repro.wsn.node import InferenceOutcome, NodeCosts, SensorNode
+
+
+def make_node(
+    node_id=0,
+    watts=1e-3,
+    n_slots=50,
+    inference_energy=100e-6,
+    capacity=1e-3,
+    volatile=False,
+    **node_kwargs,
+):
+    """A node over a constant-power trace for predictable arithmetic."""
+    model = build_har_cnn(2, 32, 3, seed=node_id)
+    trace = PowerTrace(dt_s=1.0, watts=np.full(n_slots, watts))
+    return SensorNode(
+        node_id=node_id,
+        location=list(BodyLocation)[node_id % 3],
+        model=model,
+        inference_energy_j=inference_energy,
+        harvester=Harvester(trace),
+        capacitor=Capacitor(capacity_j=capacity),
+        nvp=NonVolatileProcessor(checkpoint_overhead=0.0, volatile=volatile),
+        comm=CommLink(RadioProfile.ble()),
+        slot_duration_s=1.0,
+        **node_kwargs,
+    )
+
+
+def window():
+    return np.random.default_rng(0).normal(size=(2, 32)).astype(np.float32)
+
+
+class TestSensorNodeHarvesting:
+    def test_idle_slot_accumulates(self):
+        node = make_node(watts=1e-3)
+        node.idle_slot(0)
+        assert node.stored_energy_j == pytest.approx(1e-3, rel=0.01)
+        assert node.stats.slots == 1
+
+    def test_harvest_capped_by_capacity(self):
+        node = make_node(watts=1e-2, capacity=5e-3)
+        for slot in range(3):
+            node.idle_slot(slot)
+        assert node.stored_energy_j <= 5e-3
+
+    def test_beyond_trace_harvests_nothing(self):
+        node = make_node(n_slots=2)
+        node.idle_slot(5)
+        assert node.stored_energy_j < 1e-6
+
+
+class TestSensorNodeInference:
+    def test_completes_with_ample_energy(self):
+        node = make_node(watts=1e-3, inference_energy=100e-6)
+        outcome = node.active_slot(0, window())
+        assert outcome.completed
+        assert outcome.predicted_label is not None
+        assert outcome.probabilities.shape == (3,)
+        assert outcome.confidence is not None
+        assert node.stats.completions == 1
+
+    def test_fails_without_energy_but_keeps_progress(self):
+        node = make_node(watts=50e-6, inference_energy=200e-6)
+        outcome = node.active_slot(0, window())
+        assert not outcome.completed
+        assert node.nvp.remaining_work_j < 200e-6  # partial progress kept
+
+    def test_nvp_finishes_over_multiple_slots(self):
+        node = make_node(watts=100e-6, inference_energy=220e-6)
+        results = [node.active_slot(slot, window()) for slot in range(4)]
+        assert any(o.completed for o in results)
+        completed = next(o for o in results if o.completed)
+        assert completed.started_slot == 0  # classified the slot-0 window
+
+    def test_volatile_node_restarts_each_slot(self):
+        node = make_node(watts=100e-6, inference_energy=220e-6, volatile=True)
+        for slot in range(5):
+            outcome = node.active_slot(slot, window())
+            assert not outcome.completed
+            assert outcome.started_slot == slot  # fresh window each time
+
+    def test_stale_task_aborted(self):
+        node = make_node(
+            watts=10e-6, inference_energy=500e-6, max_task_age_slots=2
+        )
+        node.active_slot(0, window())
+        node.active_slot(1, window())
+        aborts_before = node.nvp.aborted_tasks
+        node.active_slot(2, window())  # age 2 >= max -> abort, restart
+        assert node.nvp.aborted_tasks == aborts_before + 1
+
+    def test_sense_cost_charged(self):
+        node = make_node(watts=1e-3)
+        node.active_slot(0, window())
+        assert node.stats.consumed_j >= node.costs.sense_j
+
+    def test_comm_charged_on_completion(self):
+        node = make_node(watts=1e-3)
+        node.active_slot(0, window())
+        assert node.comm.messages_sent == 1
+        assert node.stats.comm_j > 0
+
+    def test_can_start_inference(self):
+        node = make_node(watts=1e-3, inference_energy=100e-6)
+        assert not node.can_start_inference()  # empty capacitor
+        node.idle_slot(0)
+        assert node.can_start_inference()
+
+    def test_reset(self):
+        node = make_node(watts=1e-3)
+        node.active_slot(0, window())
+        node.reset()
+        assert node.stored_energy_j == 0.0
+        assert node.stats.completions == 0
+
+    def test_completion_rate(self):
+        node = make_node(watts=1e-3)
+        node.active_slot(0, window())
+        assert node.stats.completion_rate == 1.0
+
+
+class TestInferenceOutcomeValidation:
+    def test_completed_requires_prediction(self):
+        with pytest.raises(SimulationError):
+            InferenceOutcome(0, BodyLocation.CHEST, 0, 0, True)
+
+
+class TestNodeCosts:
+    def test_invalid_rejected(self):
+        with pytest.raises(Exception):
+            NodeCosts(sense_j=-1.0)
+        with pytest.raises(Exception):
+            NodeCosts(result_message_bytes=0)
+
+
+class TestHostDevice:
+    def make_outcome(self, node_id, label, slot, confidence=0.1):
+        probs = np.full(3, 0.1)
+        probs[label] = 0.8
+        return InferenceOutcome(
+            node_id=node_id,
+            location=BodyLocation.CHEST,
+            slot_index=slot,
+            started_slot=slot,
+            completed=True,
+            predicted_label=label,
+            probabilities=probs,
+            confidence=confidence,
+        )
+
+    def test_recall_remembers_latest(self):
+        host = HostDevice(vote=lambda votes, slot: votes[0].label)
+        host.receive(self.make_outcome(1, 0, slot=0))
+        host.receive(self.make_outcome(1, 2, slot=5))
+        vote = host.remembered_for(1)
+        assert vote.label == 2
+        assert vote.received_slot == 5
+
+    def test_classify_uses_vote_function(self):
+        host = HostDevice(vote=lambda votes, slot: max(v.label for v in votes))
+        host.receive(self.make_outcome(0, 1, slot=0))
+        host.receive(self.make_outcome(1, 2, slot=1))
+        assert host.classify(2) == 2
+        assert host.decisions_made == 1
+
+    def test_classify_empty_memory(self):
+        host = HostDevice(vote=lambda votes, slot: 0)
+        assert host.classify(0) is None
+
+    def test_recall_age_expiry(self):
+        host = HostDevice(
+            vote=lambda votes, slot: votes[0].label, max_recall_age_slots=3
+        )
+        host.receive(self.make_outcome(0, 1, slot=0))
+        assert host.classify(3) == 1
+        assert host.classify(4) is None
+
+    def test_incomplete_outcome_rejected(self):
+        host = HostDevice(vote=lambda votes, slot: 0)
+        with pytest.raises(SimulationError):
+            host.receive(
+                InferenceOutcome(0, BodyLocation.CHEST, 0, 0, False)
+            )
+
+    def test_reset(self):
+        host = HostDevice(vote=lambda votes, slot: votes[0].label)
+        host.receive(self.make_outcome(0, 1, slot=0))
+        host.reset()
+        assert host.remembered_votes() == []
+        assert host.messages_received == 0
+
+    def test_vote_age(self):
+        vote = ReceivedVote(0, 1, 0.1, None, received_slot=5, started_slot=3)
+        assert vote.age(10) == 7
+
+
+class TestBodyAreaNetwork:
+    def make_network(self, watts=1e-3):
+        nodes = [make_node(i, watts=watts) for i in range(3)]
+        host = HostDevice(vote=lambda votes, slot: votes[-1].label)
+        return BodyAreaNetwork(nodes, host), nodes
+
+    def test_step_slot_routes_active_and_idle(self):
+        network, nodes = self.make_network()
+        outcomes = network.step_slot(0, [0], {0: window()})
+        assert len(outcomes) == 1
+        assert nodes[1].stats.slots == 1  # idle nodes still harvested
+        assert nodes[1].stats.active_slots == 0
+
+    def test_completed_outcomes_reach_host(self):
+        network, _ = self.make_network()
+        network.step_slot(0, [0], {0: window()})
+        assert network.host.messages_received == 1
+
+    def test_missing_window_rejected(self):
+        network, _ = self.make_network()
+        with pytest.raises(SimulationError):
+            network.step_slot(0, [0], {})
+
+    def test_unknown_node_rejected(self):
+        network, _ = self.make_network()
+        with pytest.raises(SimulationError):
+            network.step_slot(0, [99], {99: window()})
+
+    def test_node_lookup(self):
+        network, nodes = self.make_network()
+        assert network.node(1) is nodes[1]
+        assert network.node_at(nodes[2].location) is nodes[2]
+        assert network.node_ids() == [0, 1, 2]
+
+    def test_duplicate_ids_rejected(self):
+        nodes = [make_node(0), make_node(0)]
+        with pytest.raises(SimulationError):
+            BodyAreaNetwork(nodes, HostDevice(vote=lambda v, s: 0))
+
+    def test_energy_totals(self):
+        network, _ = self.make_network()
+        network.step_slot(0, [0, 1, 2], {i: window() for i in range(3)})
+        assert network.total_harvested_j() > 0
+        assert network.total_consumed_j() > 0
+
+    def test_reset(self):
+        network, nodes = self.make_network()
+        network.step_slot(0, [0], {0: window()})
+        network.reset()
+        assert all(node.stats.slots == 0 for node in nodes)
+        assert network.host.messages_received == 0
