@@ -25,6 +25,10 @@ The package is organized bottom-up:
 ``repro.core``
     The paper's contribution: scheduling policies, ensemble methods, the
     confidence matrix, and the Origin policy plus both paper baselines.
+``repro.faults``
+    Composable fault injection: node death, brownouts, lossy/corrupting
+    links, harvester shadowing and host restarts, with
+    graceful-degradation accounting.
 ``repro.sim``
     End-to-end experiment harnesses reproducing every figure and table.
 

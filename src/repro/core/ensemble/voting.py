@@ -19,6 +19,9 @@ from repro.wsn.host import ReceivedVote
 class MajorityVote:
     """Unweighted majority over the recalled votes.
 
+    Each vote counts :attr:`~repro.wsn.host.ReceivedVote.weight` (1.0
+    unless the host applies staleness down-weighting), so "unweighted"
+    means no confidence weighting — link-health fading still applies.
     Ties resolve toward the label backed by the most recently *sensed*
     evidence (the freshest vote among the tied labels) — the natural
     choice in a recall-based system where recency tracks the current
@@ -32,13 +35,13 @@ class MajorityVote:
     ) -> Optional[int]:
         if not votes:
             return None
-        counts: Dict[int, int] = defaultdict(int)
+        counts: Dict[int, float] = defaultdict(float)
         freshest: Dict[int, int] = defaultdict(lambda: -1)
         for vote in votes:
-            counts[vote.label] += 1
+            counts[vote.label] += vote.weight
             freshest[vote.label] = max(freshest[vote.label], vote.started_slot)
         top = max(counts.values())
-        tied = [label for label, count in counts.items() if count == top]
+        tied = [label for label, count in counts.items() if abs(count - top) < 1e-12]
         if len(tied) == 1:
             return tied[0]
         return max(tied, key=lambda label: (freshest[label], -label))
@@ -70,7 +73,9 @@ class WeightedMajorityVote:
 
     def _weight(self, vote: ReceivedVote) -> float:
         prior = self.confidence.weight(vote.node_id, vote.label)
-        return self.blend * vote.confidence + (1.0 - self.blend) * prior
+        blended = self.blend * vote.confidence + (1.0 - self.blend) * prior
+        # The host's staleness down-weighting composes multiplicatively.
+        return blended * vote.weight
 
     def __call__(
         self, votes: Sequence[ReceivedVote], current_slot: int

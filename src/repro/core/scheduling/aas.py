@@ -42,6 +42,8 @@ class ActivityAwareScheduler(SchedulingPolicy):
         rank_table: RankTable,
         *,
         cooldown_slots: Optional[int] = None,
+        retry_budget: int = 2,
+        backoff_slots: Optional[int] = None,
     ) -> None:
         if set(base.node_ids) != set(rank_table.node_ids):
             raise SchedulingError(
@@ -63,8 +65,23 @@ class ActivityAwareScheduler(SchedulingPolicy):
         if cooldown_slots < 0:
             raise SchedulingError(f"cooldown_slots must be >= 0, got {cooldown_slots}")
         self.cooldown_slots = int(cooldown_slots)
+        # Fault handling: an unresponsive node is still retried up to
+        # ``retry_budget`` activations (its radio may just be unlucky);
+        # after that it backs off for ``backoff_slots`` and the ranking
+        # falls through to the next-best sensor.  A completed inference
+        # from the node clears both immediately.
+        if retry_budget < 1:
+            raise SchedulingError(f"retry_budget must be >= 1, got {retry_budget}")
+        if backoff_slots is None:
+            backoff_slots = base.cycle_length
+        if backoff_slots < 1:
+            raise SchedulingError(f"backoff_slots must be >= 1, got {backoff_slots}")
+        self.retry_budget = int(retry_budget)
+        self.backoff_slots = int(backoff_slots)
         self._anticipated: Optional[int] = None
         self._last_activated = {node_id: None for node_id in base.node_ids}
+        self._strikes = {node_id: 0 for node_id in base.node_ids}
+        self._backoff_until = {node_id: 0 for node_id in base.node_ids}
         self.name = f"{base.name}+AAS"
 
     # ------------------------------------------------------------------
@@ -89,6 +106,9 @@ class ActivityAwareScheduler(SchedulingPolicy):
         last = self._last_activated[node_id]
         return last is None or slot_index - last >= self.cooldown_slots
 
+    def _backing_off(self, node_id: int, slot_index: int) -> bool:
+        return slot_index < self._backoff_until[node_id]
+
     def active_nodes(self, slot_index: int, context: SchedulingContext) -> List[int]:
         if not self.base.is_compute_slot(slot_index):
             return []
@@ -102,15 +122,27 @@ class ActivityAwareScheduler(SchedulingPolicy):
             chosen = self.base.slot_owner(slot_index)
         else:
             ranked = self.rank_table.ranked_nodes(anticipated)
-            rested = [n for n in ranked if self._off_cooldown(n, slot_index)]
+            # Nodes that exhausted their retry budget sit out a backoff
+            # window; if literally everyone is backing off, try the
+            # best-ranked sensor anyway rather than wasting the slot.
+            reachable = [n for n in ranked if not self._backing_off(n, slot_index)]
+            candidates = reachable or ranked
+            rested = [n for n in candidates if self._off_cooldown(n, slot_index)]
             ready = [n for n in rested if context.node_ready.get(n, False)]
             if ready:
                 chosen = ready[0]  # best-ranked sensor that can finish now
             elif rested:
                 chosen = rested[0]  # partial progress is kept by the NVP
             else:
-                chosen = ranked[0]
+                chosen = candidates[0]
         self._last_activated[chosen] = slot_index
+        if not context.is_responsive(chosen):
+            self._strikes[chosen] += 1
+            if self._strikes[chosen] >= self.retry_budget:
+                self._backoff_until[chosen] = slot_index + self.backoff_slots
+                self._strikes[chosen] = 0
+        else:
+            self._strikes[chosen] = 0
         return [chosen]
 
     def observe(
@@ -119,6 +151,11 @@ class ActivityAwareScheduler(SchedulingPolicy):
         outcomes: Sequence[InferenceOutcome],
         final_label: Optional[int],
     ) -> None:
+        for outcome in outcomes:
+            if outcome.completed:
+                # Evidence the node is alive again: stop backing off.
+                self._strikes[outcome.node_id] = 0
+                self._backoff_until[outcome.node_id] = 0
         if final_label is not None:
             self._anticipated = int(final_label)
             return
@@ -129,3 +166,5 @@ class ActivityAwareScheduler(SchedulingPolicy):
     def reset(self) -> None:
         self._anticipated = None
         self._last_activated = {node_id: None for node_id in self.base.node_ids}
+        self._strikes = {node_id: 0 for node_id in self.base.node_ids}
+        self._backoff_until = {node_id: 0 for node_id in self.base.node_ids}

@@ -29,11 +29,22 @@ class SchedulingContext:
     anticipated_label:
         The activity the system expects next (= the last classification,
         by temporal continuity); ``None`` before the first result.
+    node_responsive:
+        Fault-awareness: ``False`` flags a node the system believes is
+        down or unreachable (dead, browned out, or quiet on a lossy link
+        past the plan's ``unresponsive_after_slots``).  Missing entries
+        mean responsive — a fault-free run passes an empty dict and
+        behaves exactly as before.
     """
 
     node_energy_j: Dict[int, float] = field(default_factory=dict)
     node_ready: Dict[int, bool] = field(default_factory=dict)
     anticipated_label: Optional[int] = None
+    node_responsive: Dict[int, bool] = field(default_factory=dict)
+
+    def is_responsive(self, node_id: int) -> bool:
+        """Whether the node is believed reachable (default True)."""
+        return self.node_responsive.get(node_id, True)
 
 
 class SchedulingPolicy(ABC):

@@ -37,3 +37,8 @@ class EnergyModelError(ReproError, ValueError):
 
 class SchedulingError(ReproError, RuntimeError):
     """A scheduling policy produced or received an invalid decision."""
+
+
+class FaultError(ReproError, ValueError):
+    """A fault plan is invalid (overlapping windows, unknown node id,
+    negative slots, out-of-range probabilities, ...)."""

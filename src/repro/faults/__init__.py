@@ -1,0 +1,55 @@
+"""Composable fault injection for the EH-WSN simulation.
+
+The paper's Discussion claims Origin "poses minimum risk if one of the
+sensors fails"; this package makes that claim testable under the fault
+conditions real energy-harvesting body-area deployments actually see:
+
+* :class:`NodeDeath` — a node dies permanently at a slot (the original
+  ``failures={node_id: slot}`` behaviour, now one model among many);
+* :class:`Brownout` — a transient supply collapse: the node goes dark
+  for a window of slots, loses its capacitor charge and any in-flight
+  inference, then recovers;
+* :class:`PacketLoss` — i.i.d. Bernoulli loss of result messages;
+* :class:`GilbertElliottLoss` — bursty two-state packet loss;
+* :class:`PayloadCorruption` — a delivered message carries the wrong
+  class label;
+* :class:`HarvesterDropout` — shadowing windows in which a node's
+  harvester yields (a fraction of) nothing while the node stays up;
+* :class:`HostRestart` — the host reboots and its recall store is wiped.
+
+A :class:`FaultPlan` composes any number of fault models, validates them
+at construction (:class:`~repro.errors.FaultError` on nonsense), and is
+compiled by :meth:`FaultPlan.compile` into a per-run :class:`FaultEngine`
+that the experiment loop queries slot by slot.  An *empty* plan is
+guaranteed to reproduce the fault-free run bit for bit.
+"""
+
+from repro.faults.models import (
+    Brownout,
+    FaultModel,
+    GilbertElliottLoss,
+    HarvesterDropout,
+    HostRestart,
+    NodeDeath,
+    PacketLoss,
+    PayloadCorruption,
+)
+from repro.faults.plan import FaultPlan
+from repro.faults.engine import FaultEngine
+from repro.faults.stats import FaultStats, LinkStats, RecoveryEvent
+
+__all__ = [
+    "FaultModel",
+    "NodeDeath",
+    "Brownout",
+    "PacketLoss",
+    "GilbertElliottLoss",
+    "PayloadCorruption",
+    "HarvesterDropout",
+    "HostRestart",
+    "FaultPlan",
+    "FaultEngine",
+    "FaultStats",
+    "LinkStats",
+    "RecoveryEvent",
+]

@@ -1,0 +1,203 @@
+"""Declarative fault models.
+
+Each model is a frozen dataclass describing *what* goes wrong and
+*when*; the runtime state machines (link loss chains, brownout windows)
+live in :mod:`repro.faults.engine`.  Validation happens at construction
+so a bad plan fails loudly before any simulation runs.
+
+``node_id`` semantics: link-level models (:class:`PacketLoss`,
+:class:`GilbertElliottLoss`, :class:`PayloadCorruption`) accept
+``node_id=None`` meaning "every link"; node-level models name one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import FaultError
+
+
+def _check_slot(name: str, value: int) -> None:
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise FaultError(f"{name} must be an integer slot index, got {value!r}")
+    if value < 0:
+        raise FaultError(f"{name} must be >= 0, got {value}")
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= float(value) <= 1.0:
+        raise FaultError(f"{name} must be in [0, 1], got {value}")
+
+
+def _check_window(name: str, start: int, end: int) -> None:
+    _check_slot(f"{name} start", start)
+    _check_slot(f"{name} end", end)
+    if end <= start:
+        raise FaultError(f"{name} must satisfy end > start, got [{start}, {end})")
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Base class; concrete models define their own fields."""
+
+    def involved_node(self) -> Optional[int]:
+        """The node this fault names (``None`` = host-side or all links)."""
+        return getattr(self, "node_id", None)
+
+
+@dataclass(frozen=True)
+class NodeDeath(FaultModel):
+    """Permanent node failure: dead from ``at_slot`` onward."""
+
+    node_id: int
+    at_slot: int
+
+    def __post_init__(self) -> None:
+        _check_slot("at_slot", self.at_slot)
+
+
+@dataclass(frozen=True)
+class Brownout(FaultModel):
+    """Transient supply collapse with recovery.
+
+    The node is offline for slots ``[start_slot, start_slot +
+    duration_slots)``: it neither harvests nor computes, its capacitor is
+    drained and any in-flight inference is lost.  From the end of the
+    window it participates again (with an empty capacitor, so actual
+    recovery — the first completed inference — takes longer; the engine
+    measures that as time-to-recover).
+    """
+
+    node_id: int
+    start_slot: int
+    duration_slots: int
+
+    def __post_init__(self) -> None:
+        _check_slot("start_slot", self.start_slot)
+        if self.duration_slots < 1:
+            raise FaultError(
+                f"duration_slots must be >= 1, got {self.duration_slots}"
+            )
+
+    @property
+    def end_slot(self) -> int:
+        """First slot after the brownout (node back online)."""
+        return self.start_slot + self.duration_slots
+
+    def covers(self, slot: int) -> bool:
+        """Whether ``slot`` falls inside the offline window."""
+        return self.start_slot <= slot < self.end_slot
+
+
+@dataclass(frozen=True)
+class _WindowedLinkFault(FaultModel):
+    """Shared fields of per-message link faults."""
+
+    rate: float
+    node_id: Optional[int] = None
+    start_slot: int = 0
+    end_slot: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_probability("rate", self.rate)
+        _check_slot("start_slot", self.start_slot)
+        if self.end_slot is not None:
+            _check_window("active window", self.start_slot, self.end_slot)
+
+    def active_at(self, slot: int) -> bool:
+        """Whether this fault applies to a message sent at ``slot``."""
+        if slot < self.start_slot:
+            return False
+        return self.end_slot is None or slot < self.end_slot
+
+
+@dataclass(frozen=True)
+class PacketLoss(_WindowedLinkFault):
+    """i.i.d. Bernoulli loss: each message dropped with ``rate``."""
+
+
+@dataclass(frozen=True)
+class PayloadCorruption(_WindowedLinkFault):
+    """Each delivered message's label is garbled with ``rate``.
+
+    A corrupted message arrives (and is counted as delivered) but
+    carries a uniformly random *wrong* class label — the host has no
+    checksum and ingests it as a normal vote.
+    """
+
+
+@dataclass(frozen=True)
+class GilbertElliottLoss(FaultModel):
+    """Two-state (good/bad) burst loss model.
+
+    The per-link channel is a Markov chain stepped once per message:
+    in the good state messages drop with ``loss_good``, in the bad state
+    with ``loss_bad``; the chain moves good→bad with ``p_good_to_bad``
+    and bad→good with ``p_bad_to_good``.  Long-run loss rate is
+    ``pi_b * loss_bad + (1 - pi_b) * loss_good`` with
+    ``pi_b = p_good_to_bad / (p_good_to_bad + p_bad_to_good)``.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+    node_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_probability("p_good_to_bad", self.p_good_to_bad)
+        _check_probability("p_bad_to_good", self.p_bad_to_good)
+        _check_probability("loss_good", self.loss_good)
+        _check_probability("loss_bad", self.loss_bad)
+        if self.p_good_to_bad + self.p_bad_to_good == 0.0:
+            raise FaultError(
+                "p_good_to_bad and p_bad_to_good cannot both be 0 "
+                "(the chain would never leave its initial state by design; "
+                "use PacketLoss for a static channel)"
+            )
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run fraction of messages dropped."""
+        pi_b = self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+        return pi_b * self.loss_bad + (1.0 - pi_b) * self.loss_good
+
+
+@dataclass(frozen=True)
+class HarvesterDropout(FaultModel):
+    """Shadowing: the node's harvester yields ``factor`` of its trace
+    during each ``(start, end)`` window, while the node itself stays up
+    and can still spend stored energy."""
+
+    node_id: int
+    windows: Tuple[Tuple[int, int], ...]
+    factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "windows", tuple((int(a), int(b)) for a, b in self.windows)
+        )
+        if not self.windows:
+            raise FaultError("HarvesterDropout needs at least one window")
+        for start, end in self.windows:
+            _check_window("dropout window", start, end)
+        _check_probability("factor", self.factor)
+
+    def scale_at(self, slot: int) -> float:
+        """Harvest multiplier for ``slot`` (1.0 outside all windows)."""
+        for start, end in self.windows:
+            if start <= slot < end:
+                return self.factor
+        return 1.0
+
+
+@dataclass(frozen=True)
+class HostRestart(FaultModel):
+    """The host reboots at ``at_slot``: its recall store is wiped, so
+    every node must report again before it can vote."""
+
+    at_slot: int
+
+    def __post_init__(self) -> None:
+        _check_slot("at_slot", self.at_slot)

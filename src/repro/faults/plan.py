@@ -1,0 +1,132 @@
+"""The declarative fault plan.
+
+A :class:`FaultPlan` is an immutable, validated composition of fault
+models plus two host/scheduler knobs that only make sense under faults:
+
+``unresponsive_after_slots``
+    If the host has not heard from a node for more than this many slots,
+    the scheduler sees it flagged unresponsive (and, after its retry
+    budget, reroutes to the next-ranked sensor).
+
+``recall_staleness_half_life_slots``
+    Host-side down-weighting of recalled votes: a remembered vote's
+    weight halves every this-many slots of age, so a dead node's stale
+    opinion fades instead of voting at full strength forever.
+
+Construction-time validation raises :class:`~repro.errors.FaultError`
+for negative slots, bad probabilities, and overlapping brownout windows;
+:meth:`compile` additionally rejects unknown node ids against the actual
+deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultError
+from repro.faults.engine import FaultEngine
+from repro.faults.models import (
+    Brownout,
+    FaultModel,
+    GilbertElliottLoss,
+    NodeDeath,
+    PacketLoss,
+    PayloadCorruption,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, composable set of faults for one run."""
+
+    faults: Tuple[FaultModel, ...] = ()
+    unresponsive_after_slots: Optional[int] = None
+    recall_staleness_half_life_slots: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, FaultModel):
+                raise FaultError(f"not a fault model: {fault!r}")
+        for knob in ("unresponsive_after_slots", "recall_staleness_half_life_slots"):
+            value = getattr(self, knob)
+            if value is not None and value < 1:
+                raise FaultError(f"{knob} must be >= 1 or None, got {value}")
+        self._check_brownout_overlap()
+
+    def _check_brownout_overlap(self) -> None:
+        by_node: dict = {}
+        for fault in self.faults:
+            if isinstance(fault, Brownout):
+                by_node.setdefault(fault.node_id, []).append(fault)
+        for node_id, outages in by_node.items():
+            outages.sort(key=lambda b: b.start_slot)
+            for earlier, later in zip(outages, outages[1:]):
+                if later.start_slot < earlier.end_slot:
+                    raise FaultError(
+                        f"overlapping brownouts for node {node_id}: "
+                        f"[{earlier.start_slot}, {earlier.end_slot}) and "
+                        f"[{later.start_slot}, {later.end_slot})"
+                    )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan changes nothing about a run."""
+        return (
+            not self.faults
+            and self.unresponsive_after_slots is None
+            and self.recall_staleness_half_life_slots is None
+        )
+
+    @property
+    def has_link_faults(self) -> bool:
+        """Whether any message-level fault is present."""
+        return any(
+            isinstance(f, (PacketLoss, GilbertElliottLoss, PayloadCorruption))
+            for f in self.faults
+        )
+
+    def named_nodes(self) -> Tuple[int, ...]:
+        """Every node id any fault names, sorted."""
+        ids = {
+            fault.involved_node()
+            for fault in self.faults
+            if fault.involved_node() is not None
+        }
+        return tuple(sorted(ids))
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_failures(cls, failures: Mapping[int, int]) -> "FaultPlan":
+        """Compile the legacy ``{node_id: slot}`` dict into a plan."""
+        return cls(
+            faults=tuple(
+                NodeDeath(node_id=int(node_id), at_slot=int(slot))
+                for node_id, slot in sorted(failures.items())
+            )
+        )
+
+    def compile(
+        self,
+        node_ids: Sequence[int],
+        n_slots: int,
+        n_classes: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> FaultEngine:
+        """Validate against a deployment and build the runtime engine."""
+        known = set(node_ids)
+        for node_id in self.named_nodes():
+            if node_id not in known:
+                raise FaultError(
+                    f"fault plan names unknown node {node_id} "
+                    f"(deployment has {sorted(known)})"
+                )
+        if self.has_link_faults and rng is None:
+            raise FaultError("a plan with link faults needs an RNG to compile")
+        return FaultEngine(self.faults, node_ids, n_slots, n_classes, rng)

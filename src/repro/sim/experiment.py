@@ -18,6 +18,7 @@ changes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
@@ -37,6 +38,7 @@ from repro.energy.nvp import NonVolatileProcessor
 from repro.energy.storage import Capacitor
 from repro.energy.traces import PowerTraceGenerator
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.plan import FaultPlan
 from repro.sim.results import ExperimentResult, SlotRecord
 from repro.sim.training import TrainedSensorBundle, TrainingConfig
 from repro.utils.rng import SeedSequenceFactory
@@ -47,8 +49,13 @@ from repro.wsn.node import NodeCosts, SensorNode
 
 WindowTransform = Callable[[np.ndarray], np.ndarray]
 
-#: RF pickup differs by placement: the wrist is usually raised/exposed,
-#: the ankle is low and often shadowed by furniture and the body.
+#: Calibrated default: uniform RF gain across placements.  The trace
+#: generator already injects per-node variation through independent
+#: fading (see PowerTraceGenerator.generate_correlated), and the paper's
+#: completion operating points were matched with equal gains.  Placement
+#: asymmetry (an exposed wrist, a furniture-shadowed ankle) is modelled
+#: explicitly instead: statically via ``SimulationConfig.node_gains``,
+#: or dynamically with a ``repro.faults.HarvesterDropout`` window.
 DEFAULT_NODE_GAINS: Dict[BodyLocation, float] = {
     BodyLocation.CHEST: 1.0,
     BodyLocation.RIGHT_WRIST: 1.0,
@@ -250,6 +257,7 @@ class HARExperiment:
         confidence_matrix: Optional[ConfidenceMatrix] = None,
         window_transform: Optional[WindowTransform] = None,
         failures: Optional[Dict[int, int]] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> ExperimentResult:
         """Simulate ``policy`` and return the full result.
 
@@ -269,11 +277,28 @@ class HARExperiment:
         window_transform:
             Applied to every sensed window (e.g. Gaussian noise).
         failures:
-            ``{node id: slot index}`` — the node dies at that slot and
-            never participates again (the paper's Discussion: Origin
-            "poses minimum risk if one of the sensors fails").  Its
-            recalled vote lingers until ``max_recall_age_slots`` expiry.
+            Deprecated shim for ``faults``: ``{node id: slot index}`` —
+            the node dies at that slot and never participates again.
+            Compiled into ``FaultPlan.from_failures(failures)``.
+        faults:
+            A :class:`~repro.faults.FaultPlan` of node deaths,
+            brownouts, lossy links, harvester shadowing and host
+            restarts.  An empty plan reproduces the fault-free run bit
+            for bit; a non-empty plan attaches
+            :class:`~repro.faults.FaultStats` degradation accounting to
+            the result.
         """
+        if failures is not None:
+            warnings.warn(
+                "failures={node_id: slot} is deprecated; use "
+                "faults=FaultPlan.from_failures(failures) (or compose a "
+                "FaultPlan with NodeDeath models) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if faults is not None:
+                raise ConfigurationError("pass either failures or faults, not both")
+            faults = FaultPlan.from_failures(failures)
         config = self.config
         if n_windows is not None:
             config = replace(config, n_windows=n_windows)
@@ -310,8 +335,33 @@ class HARExperiment:
             if policy.uses_recall
             else MajorityVote(),
             max_recall_age_slots=config.max_recall_age_slots,
+            staleness_half_life_slots=(
+                faults.recall_staleness_half_life_slots if faults is not None else None
+            ),
         )
         network = BodyAreaNetwork(nodes, host)
+
+        # Compile the fault plan into this run's engine and install the
+        # per-node hooks.  An empty plan leaves everything untouched, so
+        # the fault-free path (and its RNG streams) is bit-identical.
+        engine = None
+        unresponsive_after = None
+        if faults is not None:
+            unresponsive_after = faults.unresponsive_after_slots
+            if faults.faults:
+                engine = faults.compile(
+                    node_ids=[node.node_id for node in nodes],
+                    n_slots=config.n_windows,
+                    n_classes=len(spec.activities),
+                    rng=(
+                        factory.generator("faults")
+                        if faults.has_link_faults
+                        else None
+                    ),
+                )
+                for node in nodes:
+                    node.comm.delivery_hook = engine.link_hook(node.node_id)
+                    node.harvest_gate = engine.harvest_gate(node.node_id)
         scheduler = policy.make_scheduler(network.node_ids(), self.bundle.rank_table)
         scheduler.reset()
 
@@ -329,29 +379,40 @@ class HARExperiment:
         result = ExperimentResult(policy_name=policy.name, activities=list(spec.activities))
         last_final: Optional[int] = None
         confidence_updates_before = confidence.updates
-
-        def alive(node_id: int, slot: int) -> bool:
-            return failures is None or slot < failures.get(node_id, config.n_windows + 1)
+        nodes_by_id = {node.node_id: node for node in nodes}
 
         for slot in range(config.n_windows):
+            if engine is not None:
+                engine.begin_slot(slot, nodes_by_id, host)
+            online = {
+                n.node_id: (engine is None or engine.node_online(n.node_id))
+                for n in nodes
+            }
+            responsive: Dict[int, bool] = {}
+            if engine is not None or unresponsive_after is not None:
+                for n in nodes:
+                    flag = online[n.node_id]
+                    if flag and unresponsive_after is not None:
+                        flag = host.quiet_slots(n.node_id, slot) <= unresponsive_after
+                    responsive[n.node_id] = flag
+
             true_label = spec.label_of(labels[slot])
             context = SchedulingContext(
                 node_energy_j={
-                    n.node_id: (n.stored_energy_j if alive(n.node_id, slot) else 0.0)
+                    n.node_id: (n.stored_energy_j if online[n.node_id] else 0.0)
                     for n in nodes
                 },
                 node_ready={
-                    n.node_id: (
-                        n.can_start_inference() and alive(n.node_id, slot)
-                    )
+                    n.node_id: (n.can_start_inference() and online[n.node_id])
                     for n in nodes
                 },
                 anticipated_label=last_final,
+                node_responsive=responsive,
             )
             active = [
                 node_id
                 for node_id in scheduler.active_nodes(slot, context)
-                if alive(node_id, slot)
+                if online[node_id]
             ]
 
             windows: Dict[int, np.ndarray] = {}
@@ -368,25 +429,42 @@ class HARExperiment:
                     window = window_transform(window)
                 windows[node_id] = window
 
-            outcomes = network.step_slot(slot, active, windows)
+            outcomes = network.step_slot(
+                slot,
+                active,
+                windows,
+                offline_node_ids=[
+                    node_id for node_id, up in online.items() if not up
+                ],
+            )
 
             for outcome in outcomes:
-                if outcome.completed and policy.adaptive_confidence:
+                if not outcome.completed:
+                    continue
+                if engine is not None:
+                    engine.note_completion(outcome.node_id, slot)
+                if policy.adaptive_confidence and outcome.delivered:
+                    # The matrix lives on the host: it adapts on what
+                    # arrived, including a corrupted label.
                     confidence.update(
-                        outcome.node_id, outcome.predicted_label, outcome.confidence
+                        outcome.node_id, outcome.delivered_label, outcome.confidence
                     )
 
             if policy.uses_recall:
                 final = host.classify(slot)
             else:
-                completed = [o for o in outcomes if o.completed]
+                completed = [o for o in outcomes if o.completed and o.delivered]
                 if completed:
-                    last_final = completed[-1].predicted_label
+                    last_final = completed[-1].delivered_label
                 final = last_final
             if final is not None:
                 last_final = final
 
-            scheduler.observe(slot, outcomes, final)
+            # The scheduler is host-side: it never observes a result
+            # whose message was lost in transit.
+            scheduler.observe(
+                slot, [o for o in outcomes if o.delivered], final
+            )
             result.records.append(
                 SlotRecord(
                     slot_index=slot,
@@ -395,10 +473,15 @@ class HARExperiment:
                     active_nodes=tuple(active),
                     completions=sum(1 for o in outcomes if o.completed),
                     attempts=len(outcomes),
+                    dropped_messages=sum(
+                        1 for o in outcomes if o.completed and not o.delivered
+                    ),
                 )
             )
 
         result.node_stats = {node.node_id: node.stats for node in nodes}
         result.comm_energy_j = sum(node.comm.energy_spent_j for node in nodes)
         result.confidence_updates = confidence.updates - confidence_updates_before
+        if engine is not None:
+            result.fault_stats = engine.finalize(nodes)
         return result

@@ -9,12 +9,18 @@ import numpy as np
 
 from repro.datasets.activities import Activity
 from repro.errors import SimulationError
+from repro.faults.stats import FaultStats
 from repro.wsn.node import NodeStats
 
 
 @dataclass(frozen=True)
 class SlotRecord:
-    """What happened in one scheduling slot."""
+    """What happened in one scheduling slot.
+
+    ``dropped_messages`` counts completed inferences whose result
+    message was lost in transit this slot (always 0 without link
+    faults).
+    """
 
     slot_index: int
     true_label: int
@@ -22,6 +28,7 @@ class SlotRecord:
     active_nodes: tuple
     completions: int
     attempts: int
+    dropped_messages: int = 0
 
     @property
     def correct(self) -> bool:
@@ -80,6 +87,8 @@ class ExperimentResult:
     node_stats: Dict[int, NodeStats] = field(default_factory=dict)
     comm_energy_j: float = 0.0
     confidence_updates: int = 0
+    #: Degradation accounting, attached when a non-empty fault plan ran.
+    fault_stats: Optional[FaultStats] = None
 
     # ------------------------------------------------------------------
 
@@ -189,6 +198,35 @@ class ExperimentResult:
         return (
             self.total_completions / self.total_attempts if self.total_attempts else 0.0
         )
+
+    @property
+    def total_dropped_messages(self) -> int:
+        """Result messages lost in transit across the run."""
+        return sum(record.dropped_messages for record in self.records)
+
+    # ------------------------------------------------------------------
+    # graceful-degradation accounting
+    # ------------------------------------------------------------------
+
+    def degradation_vs(self, fault_free: "ExperimentResult") -> Dict[str, float]:
+        """Accuracy-under-fault deltas against a fault-free run.
+
+        Returns absolute accuracy deltas (fault-free minus faulted, so
+        positive = degradation) and the retained fraction of fault-free
+        event accuracy — the headline graceful-degradation number.
+        """
+        if fault_free.n_slots == 0 or self.n_slots == 0:
+            raise SimulationError("both runs need recorded slots")
+        baseline_event = fault_free.event_accuracy
+        return {
+            "event_accuracy_delta": baseline_event - self.event_accuracy,
+            "overall_accuracy_delta": (
+                fault_free.overall_accuracy - self.overall_accuracy
+            ),
+            "retained_event_accuracy": (
+                self.event_accuracy / baseline_event if baseline_event else 0.0
+            ),
+        }
 
     def completion_breakdown(self) -> CompletionBreakdown:
         """Fig. 1-style slot breakdown over *attempting* slots.

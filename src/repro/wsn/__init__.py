@@ -7,7 +7,7 @@ engine underpins time ordering; the HAR experiments drive everything in
 fixed scheduling slots (one IMU window per slot).
 """
 
-from repro.wsn.comm import CommLink, RadioProfile
+from repro.wsn.comm import CommLink, Delivery, RadioProfile, TransmitResult
 from repro.wsn.events import Event, EventScheduler
 from repro.wsn.host import HostDevice, ReceivedVote
 from repro.wsn.node import InferenceOutcome, NodeCosts, NodeStats, SensorNode
@@ -15,6 +15,8 @@ from repro.wsn.network import BodyAreaNetwork
 
 __all__ = [
     "CommLink",
+    "Delivery",
+    "TransmitResult",
     "RadioProfile",
     "Event",
     "EventScheduler",

@@ -11,7 +11,7 @@ and a vote, matching the paper's "minimal overhead on the host device".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -22,7 +22,12 @@ from repro.wsn.node import InferenceOutcome
 
 @dataclass(frozen=True)
 class ReceivedVote:
-    """One node's most recent classification, as the host remembers it."""
+    """One node's most recent classification, as the host remembers it.
+
+    ``weight`` scales the vote's influence in the ensemble (1.0 = full
+    strength); staleness-aware down-weighting lowers it for votes from
+    nodes the host has not heard from in a while.
+    """
 
     node_id: int
     label: int
@@ -30,6 +35,7 @@ class ReceivedVote:
     probabilities: Optional[np.ndarray]
     received_slot: int
     started_slot: int
+    weight: float = 1.0
 
     def age(self, current_slot: int) -> int:
         """Slots since the classified window was sensed."""
@@ -50,6 +56,12 @@ class HostDevice:
         decision yet" (before any node has reported).
     max_recall_age_slots:
         Drop remembered votes older than this (``None`` = never expire).
+    staleness_half_life_slots:
+        When set, a recalled vote's weight halves every this-many slots
+        of age, so a quiet (browned-out, dead, or shadowed) node's stale
+        opinion fades gracefully instead of voting at full strength
+        forever.  ``None`` (the default) keeps the paper's behaviour:
+        every remembered vote counts fully until it expires.
     """
 
     def __init__(
@@ -57,16 +69,22 @@ class HostDevice:
         vote: VoteFunction,
         *,
         max_recall_age_slots: Optional[int] = None,
+        staleness_half_life_slots: Optional[int] = None,
     ) -> None:
         if not callable(vote):
             raise SimulationError("vote must be callable")
         if max_recall_age_slots is not None and max_recall_age_slots < 1:
             raise SimulationError("max_recall_age_slots must be >= 1 or None")
+        if staleness_half_life_slots is not None and staleness_half_life_slots < 1:
+            raise SimulationError("staleness_half_life_slots must be >= 1 or None")
         self.vote = vote
         self.max_recall_age_slots = max_recall_age_slots
+        self.staleness_half_life_slots = staleness_half_life_slots
         self._memory: Dict[int, ReceivedVote] = {}
+        self._last_heard: Dict[int, int] = {}
         self._messages_received = 0
         self._decisions = 0
+        self._restarts = 0
 
     # ------------------------------------------------------------------
 
@@ -89,20 +107,70 @@ class HostDevice:
         return self._memory.get(node_id)
 
     # ------------------------------------------------------------------
+    # link health
+    # ------------------------------------------------------------------
+
+    @property
+    def restarts(self) -> int:
+        """Times the host rebooted (losing its recall store)."""
+        return self._restarts
+
+    def last_heard_slot(self, node_id: int) -> Optional[int]:
+        """Slot of the node's last received message (None = never)."""
+        return self._last_heard.get(node_id)
+
+    def quiet_slots(self, node_id: int, current_slot: int) -> int:
+        """Slots since the host last heard from ``node_id``.
+
+        A node that has never reported counts as quiet since slot 0.
+        """
+        last = self._last_heard.get(node_id)
+        return current_slot + 1 if last is None else current_slot - last
+
+    def link_health(self, node_ids: Sequence[int], current_slot: int) -> Dict[int, int]:
+        """Quiet time per node — the host's view of each link."""
+        return {
+            node_id: self.quiet_slots(node_id, current_slot) for node_id in node_ids
+        }
+
+    # ------------------------------------------------------------------
 
     def receive(self, outcome: InferenceOutcome) -> None:
-        """Ingest a completed inference result from a node."""
+        """Ingest a completed inference result from a node.
+
+        The stored label is :attr:`InferenceOutcome.delivered_label` —
+        what actually arrived over the link, which differs from the
+        node's prediction when the payload was corrupted in transit.
+        """
         if not outcome.completed:
             raise SimulationError("host only receives completed inferences")
+        if not outcome.delivered:
+            raise SimulationError("host cannot receive a dropped message")
         self._messages_received += 1
+        self._last_heard[outcome.node_id] = outcome.slot_index
         self._memory[outcome.node_id] = ReceivedVote(
             node_id=outcome.node_id,
-            label=outcome.predicted_label,
+            label=outcome.delivered_label,
             confidence=outcome.confidence if outcome.confidence is not None else 0.0,
             probabilities=outcome.probabilities,
             received_slot=outcome.slot_index,
             started_slot=outcome.started_slot,
         )
+
+    def _staleness_weighted(
+        self, votes: List[ReceivedVote], current_slot: int
+    ) -> List[ReceivedVote]:
+        half_life = self.staleness_half_life_slots
+        if half_life is None:
+            return votes
+        return [
+            vote
+            if vote.age(current_slot) <= 0
+            else replace(
+                vote, weight=vote.weight * 0.5 ** (vote.age(current_slot) / half_life)
+            )
+            for vote in votes
+        ]
 
     def classify(self, current_slot: int) -> Optional[int]:
         """Final classification for the current window (or None)."""
@@ -111,6 +179,7 @@ class HostDevice:
             votes = [
                 vote for vote in votes if vote.age(current_slot) <= self.max_recall_age_slots
             ]
+        votes = self._staleness_weighted(votes, current_slot)
         if not votes:
             return None
         label = self.vote(votes, current_slot)
@@ -118,8 +187,20 @@ class HostDevice:
             self._decisions += 1
         return label
 
+    def restart(self) -> None:
+        """Reboot: the recall store and link history are wiped.
+
+        Cumulative counters survive — they are simulation bookkeeping,
+        not host RAM.
+        """
+        self._memory.clear()
+        self._last_heard.clear()
+        self._restarts += 1
+
     def reset(self) -> None:
         """Forget everything (new user / new run)."""
         self._memory.clear()
+        self._last_heard.clear()
         self._messages_received = 0
         self._decisions = 0
+        self._restarts = 0

@@ -65,18 +65,26 @@ class BodyAreaNetwork:
         slot_index: int,
         active_node_ids: Sequence[int],
         windows: Dict[int, np.ndarray],
+        *,
+        offline_node_ids: Sequence[int] = (),
     ) -> List[InferenceOutcome]:
         """Advance every node one slot.
 
         ``active_node_ids`` attempt an inference on their entry in
-        ``windows``; everyone else just harvests.  Completed outcomes
-        are delivered to the host; all active-slot outcomes are
-        returned for bookkeeping.
+        ``windows``; ``offline_node_ids`` (dead or browned-out) spend
+        the slot dark; everyone else just harvests.  Completed outcomes
+        whose result message survived the link are delivered to the
+        host; all active-slot outcomes are returned for bookkeeping.
         """
         active = set(active_node_ids)
-        unknown = active - set(self._by_id)
+        offline = set(offline_node_ids)
+        unknown = (active | offline) - set(self._by_id)
         if unknown:
             raise SimulationError(f"unknown active node ids: {sorted(unknown)}")
+        if active & offline:
+            raise SimulationError(
+                f"nodes cannot be active while offline: {sorted(active & offline)}"
+            )
         outcomes: List[InferenceOutcome] = []
         for node in self.nodes:
             if node.node_id in active:
@@ -86,8 +94,10 @@ class BodyAreaNetwork:
                     )
                 outcome = node.active_slot(slot_index, windows[node.node_id])
                 outcomes.append(outcome)
-                if outcome.completed:
+                if outcome.completed and outcome.delivered:
                     self.host.receive(outcome)
+            elif node.node_id in offline:
+                node.offline_slot(slot_index)
             else:
                 node.idle_slot(slot_index)
         return outcomes

@@ -17,7 +17,7 @@ the outcome then reports the slot whose window was actually classified
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -68,7 +68,13 @@ class NodeStats:
 
 @dataclass(frozen=True)
 class InferenceOutcome:
-    """What one active slot produced."""
+    """What one active slot produced.
+
+    ``delivered``/``reported_label`` describe what the radio link did to
+    the result message: a dropped message never reaches the host (though
+    its energy was spent), and a corrupted one arrives with
+    ``reported_label`` in place of the true prediction.
+    """
 
     node_id: int
     location: BodyLocation
@@ -79,10 +85,17 @@ class InferenceOutcome:
     probabilities: Optional[np.ndarray] = None
     confidence: Optional[float] = None
     energy_consumed_j: float = 0.0
+    delivered: bool = True
+    reported_label: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.completed and (self.predicted_label is None or self.probabilities is None):
             raise SimulationError("completed outcome must carry a prediction")
+
+    @property
+    def delivered_label(self) -> Optional[int]:
+        """The label as the host receives it (garbled if corrupted)."""
+        return self.reported_label if self.reported_label is not None else self.predicted_label
 
 
 class SensorNode:
@@ -136,6 +149,11 @@ class SensorNode:
             raise SimulationError("max_task_age_slots must be >= 1 or None")
         self.max_task_age_slots = max_task_age_slots
         self.stats = NodeStats()
+        #: Fault surface: ``online`` flips on brownout/death (driven by
+        #: the fault engine), ``harvest_gate`` multiplies each slot's
+        #: harvested energy (shadowing windows).
+        self.online: bool = True
+        self.harvest_gate: Optional[Callable[[int], float]] = None
         self._pending_window: Optional[np.ndarray] = None
         self._pending_slot: Optional[int] = None
         self._slot_energies: Optional[np.ndarray] = None
@@ -154,6 +172,8 @@ class SensorNode:
     def harvest(self, slot_index: int) -> float:
         """Harvest this slot's energy into the capacitor; returns joules."""
         energy = self._slot_harvest(slot_index)
+        if self.harvest_gate is not None:
+            energy *= self.harvest_gate(slot_index)
         accepted = self.capacitor.deposit(energy)
         self.capacitor.leak(self.slot_duration_s)
         self.capacitor.draw(min(self.costs.idle_j, self.capacitor.stored_j))
@@ -226,8 +246,11 @@ class SensorNode:
         self._pending_slot = None
         self.stats.completions += 1
 
-        comm_cost = self.comm.send(self.costs.result_message_bytes)
-        paid = self.capacitor.draw(min(comm_cost, self.capacitor.stored_j))
+        predicted = int(probabilities.argmax())
+        sent = self.comm.transmit(
+            self.costs.result_message_bytes, slot_index, predicted
+        )
+        paid = self.capacitor.draw(min(sent.cost_j, self.capacitor.stored_j))
         self.stats.comm_j += paid
         self.stats.consumed_j += paid
 
@@ -237,10 +260,14 @@ class SensorNode:
             slot_index=slot_index,
             started_slot=started_slot,
             completed=True,
-            predicted_label=int(probabilities.argmax()),
+            predicted_label=predicted,
             probabilities=probabilities,
             confidence=confidence_from_softmax(probabilities),
             energy_consumed_j=burst.consumed_j + paid,
+            delivered=sent.delivery.delivered,
+            reported_label=(
+                sent.delivery.label if sent.delivery.corrupted else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +276,27 @@ class SensorNode:
     def stored_energy_j(self) -> float:
         """Current capacitor charge."""
         return self.capacitor.stored_j
+
+    def power_down(self) -> None:
+        """Brownout or death: lose in-flight work and all stored charge.
+
+        The NVP checkpoint survives *power interruptions*, not a supply
+        collapse long enough to brown the node out — the task is gone
+        and the capacitor is empty when (if) power returns.
+        """
+        self.nvp.abort()
+        self._pending_window = None
+        self._pending_slot = None
+        self.capacitor.draw(self.capacitor.stored_j)
+        self.online = False
+
+    def power_up(self) -> None:
+        """Supply restored after a brownout (capacitor still empty)."""
+        self.online = True
+
+    def offline_slot(self, slot_index: int) -> None:
+        """A slot spent dark: no harvest, no leak, no compute."""
+        self.stats.slots += 1
 
     def can_start_inference(self) -> bool:
         """Whether a fresh inference could finish within one burst now.
@@ -266,5 +314,6 @@ class SensorNode:
         self.capacitor.reset()
         self.nvp.abort()
         self.stats = NodeStats()
+        self.online = True
         self._pending_window = None
         self._pending_slot = None

@@ -1,0 +1,433 @@
+"""Unit tests for the fault-injection subsystem (`repro.faults`).
+
+Covers construction-time plan validation, the Gilbert–Elliott loss
+statistics, the lossy CommLink surface, the host's fault surface
+(link health, restart, staleness down-weighting) and the AAS
+retry/backoff reroute.  Experiment-level behaviour lives in
+``test_faults_integration.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling.aas import ActivityAwareScheduler
+from repro.core.scheduling.base import SchedulingContext
+from repro.core.scheduling.rank_table import RankTable
+from repro.core.scheduling.round_robin import ExtendedRoundRobin
+from repro.core.ensemble.voting import MajorityVote
+from repro.datasets.body import BodyLocation
+from repro.errors import FaultError, ReproError, SimulationError
+from repro.faults import (
+    Brownout,
+    FaultPlan,
+    GilbertElliottLoss,
+    HarvesterDropout,
+    HostRestart,
+    NodeDeath,
+    PacketLoss,
+    PayloadCorruption,
+)
+from repro.wsn.comm import CommLink, Delivery, RadioProfile
+from repro.wsn.host import HostDevice
+from repro.wsn.node import InferenceOutcome
+
+
+def _outcome(node_id, label, slot, *, delivered=True, reported=None):
+    return InferenceOutcome(
+        node_id=node_id,
+        location=BodyLocation.CHEST,
+        slot_index=slot,
+        started_slot=slot,
+        completed=True,
+        predicted_label=label,
+        probabilities=np.array([0.1, 0.9]),
+        confidence=0.9,
+        delivered=delivered,
+        reported_label=reported,
+    )
+
+
+class TestFaultModelValidation:
+    def test_fault_error_hierarchy(self):
+        assert issubclass(FaultError, ReproError)
+        assert issubclass(FaultError, ValueError)
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(FaultError):
+            NodeDeath(node_id=0, at_slot=-1)
+        with pytest.raises(FaultError):
+            Brownout(node_id=0, start_slot=-3, duration_slots=2)
+        with pytest.raises(FaultError):
+            HostRestart(at_slot=-1)
+
+    def test_non_integer_slot_rejected(self):
+        with pytest.raises(FaultError):
+            NodeDeath(node_id=0, at_slot=2.5)
+        with pytest.raises(FaultError):
+            NodeDeath(node_id=0, at_slot=True)
+
+    def test_brownout_needs_positive_duration(self):
+        with pytest.raises(FaultError):
+            Brownout(node_id=1, start_slot=4, duration_slots=0)
+
+    def test_brownout_window_arithmetic(self):
+        outage = Brownout(node_id=1, start_slot=10, duration_slots=5)
+        assert outage.end_slot == 15
+        assert not outage.covers(9)
+        assert outage.covers(10)
+        assert outage.covers(14)
+        assert not outage.covers(15)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(FaultError):
+            PacketLoss(rate=1.5)
+        with pytest.raises(FaultError):
+            PacketLoss(rate=-0.1)
+        with pytest.raises(FaultError):
+            GilbertElliottLoss(p_good_to_bad=0.1, p_bad_to_good=2.0)
+        with pytest.raises(FaultError):
+            HarvesterDropout(node_id=0, windows=((0, 5),), factor=1.2)
+
+    def test_link_fault_window_must_be_ordered(self):
+        with pytest.raises(FaultError):
+            PacketLoss(rate=0.5, start_slot=20, end_slot=10)
+        with pytest.raises(FaultError):
+            PacketLoss(rate=0.5, start_slot=10, end_slot=10)
+
+    def test_link_fault_active_window(self):
+        loss = PacketLoss(rate=0.5, start_slot=10, end_slot=20)
+        assert not loss.active_at(9)
+        assert loss.active_at(10)
+        assert loss.active_at(19)
+        assert not loss.active_at(20)
+        open_ended = PacketLoss(rate=0.5, start_slot=10)
+        assert open_ended.active_at(10_000)
+
+    def test_gilbert_elliott_needs_a_moving_chain(self):
+        with pytest.raises(FaultError):
+            GilbertElliottLoss(p_good_to_bad=0.0, p_bad_to_good=0.0)
+
+    def test_gilbert_elliott_stationary_rate(self):
+        ge = GilbertElliottLoss(p_good_to_bad=0.1, p_bad_to_good=0.3)
+        # pi_b = 0.1 / 0.4 = 0.25, loss_bad = 1, loss_good = 0.
+        assert ge.stationary_loss_rate == pytest.approx(0.25)
+        lossy_good = GilbertElliottLoss(
+            p_good_to_bad=0.2, p_bad_to_good=0.2, loss_good=0.1, loss_bad=0.9
+        )
+        assert lossy_good.stationary_loss_rate == pytest.approx(0.5)
+
+    def test_harvester_dropout_validation_and_scale(self):
+        with pytest.raises(FaultError):
+            HarvesterDropout(node_id=0, windows=())
+        with pytest.raises(FaultError):
+            HarvesterDropout(node_id=0, windows=((5, 5),))
+        dropout = HarvesterDropout(node_id=0, windows=((5, 10),), factor=0.25)
+        assert dropout.scale_at(4) == 1.0
+        assert dropout.scale_at(5) == 0.25
+        assert dropout.scale_at(9) == 0.25
+        assert dropout.scale_at(10) == 1.0
+
+
+class TestFaultPlanValidation:
+    def test_default_plan_is_empty(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert not plan.has_link_faults
+        assert plan.named_nodes() == ()
+
+    def test_knob_only_plan_is_not_empty(self):
+        assert not FaultPlan(unresponsive_after_slots=4).is_empty
+        assert not FaultPlan(recall_staleness_half_life_slots=8).is_empty
+
+    def test_knobs_validated(self):
+        with pytest.raises(FaultError):
+            FaultPlan(unresponsive_after_slots=0)
+        with pytest.raises(FaultError):
+            FaultPlan(recall_staleness_half_life_slots=-2)
+
+    def test_non_fault_entries_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(faults=("drop everything",))
+
+    def test_overlapping_brownouts_rejected(self):
+        with pytest.raises(FaultError, match="overlapping"):
+            FaultPlan(
+                faults=(
+                    Brownout(node_id=1, start_slot=10, duration_slots=10),
+                    Brownout(node_id=1, start_slot=15, duration_slots=5),
+                )
+            )
+
+    def test_adjacent_and_cross_node_brownouts_allowed(self):
+        FaultPlan(
+            faults=(
+                Brownout(node_id=1, start_slot=10, duration_slots=5),
+                Brownout(node_id=1, start_slot=15, duration_slots=5),
+                Brownout(node_id=2, start_slot=12, duration_slots=10),
+            )
+        )
+
+    def test_named_nodes_sorted_and_deduplicated(self):
+        plan = FaultPlan(
+            faults=(
+                NodeDeath(node_id=2, at_slot=5),
+                Brownout(node_id=0, start_slot=1, duration_slots=2),
+                PacketLoss(rate=0.5),  # node_id=None: names nobody
+                PayloadCorruption(rate=0.1, node_id=2),
+            )
+        )
+        assert plan.named_nodes() == (0, 2)
+
+    def test_compile_rejects_unknown_node(self):
+        plan = FaultPlan(faults=(NodeDeath(node_id=9, at_slot=5),))
+        with pytest.raises(FaultError, match="unknown node 9"):
+            plan.compile(node_ids=[0, 1, 2], n_slots=100, n_classes=5)
+
+    def test_compile_link_faults_need_rng(self):
+        plan = FaultPlan(faults=(PacketLoss(rate=0.5),))
+        assert plan.has_link_faults
+        with pytest.raises(FaultError, match="RNG"):
+            plan.compile(node_ids=[0], n_slots=10, n_classes=3)
+
+    def test_from_failures_compiles_to_node_deaths(self):
+        plan = FaultPlan.from_failures({2: 30, 0: 10})
+        assert plan.faults == (
+            NodeDeath(node_id=0, at_slot=10),
+            NodeDeath(node_id=2, at_slot=30),
+        )
+        assert not plan.has_link_faults
+
+
+def _single_link_hook(plan, n_classes=5, seed=0):
+    engine = plan.compile(
+        node_ids=[0],
+        n_slots=10**9,
+        n_classes=n_classes,
+        rng=np.random.default_rng(seed),
+    )
+    hook = engine.link_hook(0)
+    assert hook is not None
+    return hook
+
+
+class TestLossStatistics:
+    def test_bernoulli_loss_matches_rate(self):
+        hook = _single_link_hook(FaultPlan(faults=(PacketLoss(rate=0.3),)))
+        n = 10_000
+        dropped = sum(1 for i in range(n) if not hook(i, 0).delivered)
+        assert dropped / n == pytest.approx(0.3, abs=0.02)
+
+    def test_gilbert_elliott_matches_stationary_rate(self):
+        ge = GilbertElliottLoss(p_good_to_bad=0.1, p_bad_to_good=0.3)
+        hook = _single_link_hook(FaultPlan(faults=(ge,)))
+        n = 20_000
+        dropped = sum(1 for i in range(n) if not hook(i, 0).delivered)
+        # Bursts correlate successive messages, so allow a wider band
+        # than the i.i.d. standard error.
+        assert dropped / n == pytest.approx(ge.stationary_loss_rate, abs=0.03)
+
+    def test_gilbert_elliott_losses_are_bursty(self):
+        # Sticky bad state: a drop should predict another drop.
+        ge = GilbertElliottLoss(p_good_to_bad=0.05, p_bad_to_good=0.2)
+        hook = _single_link_hook(FaultPlan(faults=(ge,)))
+        outcomes = [not hook(i, 0).delivered for i in range(20_000)]
+        marginal = sum(outcomes) / len(outcomes)
+        after_drop = [b for a, b in zip(outcomes, outcomes[1:]) if a]
+        conditional = sum(after_drop) / len(after_drop)
+        assert marginal == pytest.approx(ge.stationary_loss_rate, abs=0.03)
+        assert conditional > 2 * marginal  # bursty, not i.i.d.
+
+    def test_corruption_garbles_within_class_range(self):
+        hook = _single_link_hook(
+            FaultPlan(faults=(PayloadCorruption(rate=0.5),)), n_classes=6
+        )
+        n = 4_000
+        corrupted = 0
+        for i in range(n):
+            delivery = hook(i, 2)
+            assert delivery.delivered
+            if delivery.corrupted:
+                corrupted += 1
+                assert delivery.label != 2
+                assert 0 <= delivery.label < 6
+            else:
+                assert delivery.label == 2
+        assert corrupted / n == pytest.approx(0.5, abs=0.03)
+
+    def test_windowed_loss_only_inside_window(self):
+        hook = _single_link_hook(
+            FaultPlan(faults=(PacketLoss(rate=1.0, start_slot=10, end_slot=20),))
+        )
+        assert hook(5, 0).delivered
+        assert not hook(15, 0).delivered
+        assert hook(25, 0).delivered
+
+    def test_same_seed_same_channel_decisions(self):
+        plan = FaultPlan(faults=(GilbertElliottLoss(0.1, 0.3), PacketLoss(rate=0.2)))
+        a = _single_link_hook(plan, seed=42)
+        b = _single_link_hook(plan, seed=42)
+        assert [a(i, 0).delivered for i in range(500)] == [
+            b(i, 0).delivered for i in range(500)
+        ]
+
+
+class TestLossyCommLink:
+    def test_transmit_without_hook_delivers(self):
+        link = CommLink(RadioProfile.ble())
+        result = link.transmit(6, slot_index=0, label=3)
+        assert result.delivery == Delivery(delivered=True, label=3)
+        assert result.cost_j == pytest.approx(link.message_cost_j(6))
+        assert link.messages_delivered == 1
+        assert link.delivery_rate == 1.0
+
+    def test_dropped_message_still_costs_energy(self):
+        link = CommLink(
+            RadioProfile.ble(),
+            delivery_hook=lambda slot, label: Delivery(delivered=False, label=None),
+        )
+        result = link.transmit(6, slot_index=0, label=3)
+        assert not result.delivery.delivered
+        assert link.messages_sent == 1
+        assert link.messages_dropped == 1
+        assert link.messages_delivered == 0
+        assert link.energy_spent_j == pytest.approx(link.message_cost_j(6))
+        assert link.delivery_rate == 0.0
+
+    def test_corrupted_message_counted(self):
+        link = CommLink(
+            RadioProfile.ble(),
+            delivery_hook=lambda slot, label: Delivery(
+                delivered=True, label=(label + 1) % 5, corrupted=True
+            ),
+        )
+        result = link.transmit(6, slot_index=0, label=3)
+        assert result.delivery.corrupted and result.delivery.label == 4
+        assert link.messages_corrupted == 1
+        assert link.messages_delivered == 1
+
+    def test_send_bypasses_hook(self):
+        link = CommLink(
+            RadioProfile.ble(),
+            delivery_hook=lambda slot, label: Delivery(delivered=False, label=None),
+        )
+        link.send(6)
+        assert link.messages_delivered == 1
+        assert link.messages_dropped == 0
+
+
+class TestHostFaultSurface:
+    def test_quiet_slots_and_last_heard(self):
+        host = HostDevice(MajorityVote())
+        assert host.last_heard_slot(0) is None
+        assert host.quiet_slots(0, current_slot=4) == 5  # never heard
+        host.receive(_outcome(0, label=1, slot=3))
+        assert host.last_heard_slot(0) == 3
+        assert host.quiet_slots(0, current_slot=7) == 4
+        assert host.link_health([0, 1], current_slot=7) == {0: 4, 1: 8}
+
+    def test_dropped_message_rejected(self):
+        host = HostDevice(MajorityVote())
+        with pytest.raises(SimulationError):
+            host.receive(_outcome(0, label=1, slot=3, delivered=False))
+
+    def test_corrupted_label_is_what_gets_stored(self):
+        host = HostDevice(MajorityVote())
+        host.receive(_outcome(0, label=1, slot=3, reported=4))
+        assert host.remembered_for(0).label == 4
+
+    def test_restart_wipes_memory_keeps_counters(self):
+        host = HostDevice(MajorityVote())
+        host.receive(_outcome(0, label=1, slot=3))
+        host.restart()
+        assert host.remembered_votes() == []
+        assert host.last_heard_slot(0) is None
+        assert host.messages_received == 1  # bookkeeping survives
+        assert host.restarts == 1
+        # A restarted host has no opinion until someone reports again.
+        assert host.classify(4) is None
+
+    def test_staleness_half_life_validated(self):
+        with pytest.raises(SimulationError):
+            HostDevice(MajorityVote(), staleness_half_life_slots=0)
+
+    def test_stale_votes_fade_under_half_life(self):
+        # Two ancient votes for label 0 vs one fresh vote for label 1:
+        # plain majority recalls label 0, staleness weighting lets the
+        # fresh minority win.
+        def fill(host):
+            host.receive(_outcome(1, label=0, slot=0))
+            host.receive(_outcome(2, label=0, slot=0))
+            host.receive(_outcome(3, label=1, slot=20))
+
+        plain = HostDevice(MajorityVote())
+        fill(plain)
+        assert plain.classify(20) == 0
+
+        fading = HostDevice(MajorityVote(), staleness_half_life_slots=2)
+        fill(fading)
+        assert fading.classify(20) == 1
+
+    def test_fresh_votes_keep_full_weight(self):
+        host = HostDevice(MajorityVote(), staleness_half_life_slots=2)
+        host.receive(_outcome(1, label=0, slot=5))
+        host.receive(_outcome(2, label=0, slot=5))
+        host.receive(_outcome(3, label=1, slot=5))
+        assert host.classify(5) == 0  # same-slot votes are not discounted
+
+
+class TestSchedulerRetryBackoff:
+    def _scheduler(self, **kwargs):
+        base = ExtendedRoundRobin([0, 1, 2])  # compute slot every slot
+        table = RankTable({0: [0, 1, 2], 1: [1, 0, 2]})
+        return ActivityAwareScheduler(
+            base, table, cooldown_slots=0, **kwargs
+        )
+
+    def _context(self, responsive):
+        return SchedulingContext(
+            node_energy_j={0: 1.0, 1: 1.0, 2: 1.0},
+            node_ready={0: True, 1: True, 2: True},
+            anticipated_label=0,
+            node_responsive=responsive,
+        )
+
+    def test_unresponsive_node_retried_then_rerouted(self):
+        scheduler = self._scheduler(retry_budget=2, backoff_slots=4)
+        context = self._context({0: False, 1: True, 2: True})
+        # Two retries of the best-ranked node burn its budget...
+        assert scheduler.active_nodes(0, context) == [0]
+        assert scheduler.active_nodes(1, context) == [0]
+        # ...then the ranking falls through to the next-best sensor for
+        # the whole backoff window (slots 2..4, backoff_slots=4 from
+        # slot 1).
+        for slot in range(2, 5):
+            assert scheduler.active_nodes(slot, context) == [1]
+        # Backoff expires: the best sensor gets another chance.
+        assert scheduler.active_nodes(5, context) == [0]
+
+    def test_completion_clears_backoff_immediately(self):
+        scheduler = self._scheduler(retry_budget=1, backoff_slots=50)
+        context = self._context({0: False, 1: True, 2: True})
+        assert scheduler.active_nodes(0, context) == [0]
+        assert scheduler.active_nodes(1, context) == [1]  # backing off
+        scheduler.observe(1, [_outcome(0, label=0, slot=1)], final_label=0)
+        assert scheduler.active_nodes(2, self._context({0: True})) == [0]
+
+    def test_responsive_node_never_penalized(self):
+        scheduler = self._scheduler(retry_budget=1, backoff_slots=50)
+        context = self._context({0: True, 1: True, 2: True})
+        for slot in range(6):
+            assert scheduler.active_nodes(slot, context) == [0]
+
+    def test_default_context_is_responsive(self):
+        context = SchedulingContext(
+            node_energy_j={0: 1.0}, node_ready={0: True}, anticipated_label=None
+        )
+        assert context.is_responsive(0)
+        assert context.is_responsive(99)
+
+    def test_budget_and_backoff_validated(self):
+        with pytest.raises(Exception):
+            self._scheduler(retry_budget=0)
+        with pytest.raises(Exception):
+            self._scheduler(backoff_slots=0)

@@ -13,6 +13,7 @@ PUBLIC_MODULES = [
     "repro.energy",
     "repro.wsn",
     "repro.core",
+    "repro.faults",
     "repro.sim",
     "repro.reporting",
     "repro.utils",

@@ -10,20 +10,28 @@ from repro.core.policies import origin_policy, rr_policy
 from repro.energy.harvester import Harvester
 from repro.energy.traces import PowerTrace
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, NodeDeath
 from repro.sim.experiment import SimulationConfig
+
+
+def _deaths(failures):
+    """The modern spelling of the old ``failures={node: slot}`` dict."""
+    return FaultPlan.from_failures(failures)
 
 
 class TestSensorFailure:
     def test_dead_node_never_active_after_failure(self, tiny_experiment):
         result = tiny_experiment.run(
-            rr_policy(3), seed=5, failures={0: 10}
+            rr_policy(3), seed=5, faults=_deaths({0: 10})
         )
         for record in result.records:
             if record.slot_index >= 10:
                 assert 0 not in record.active_nodes
 
     def test_dead_node_active_before_failure(self, tiny_experiment):
-        result = tiny_experiment.run(rr_policy(3), seed=5, failures={0: 30})
+        result = tiny_experiment.run(
+            rr_policy(3), seed=5, faults=FaultPlan(faults=(NodeDeath(0, at_slot=30),))
+        )
         before = [
             r for r in result.records if r.slot_index < 30 and 0 in r.active_nodes
         ]
@@ -31,7 +39,7 @@ class TestSensorFailure:
 
     def test_system_keeps_classifying_after_failure(self, tiny_experiment):
         result = tiny_experiment.run(
-            origin_policy(3), seed=5, failures={0: 5}
+            origin_policy(3), seed=5, faults=_deaths({0: 5})
         )
         late_events = [
             r for r in result.records if r.slot_index > 20 and r.completions > 0
@@ -40,14 +48,15 @@ class TestSensorFailure:
 
     def test_all_nodes_dead_means_no_events(self, tiny_experiment):
         result = tiny_experiment.run(
-            rr_policy(3), seed=5, failures={0: 0, 1: 0, 2: 0}
+            rr_policy(3), seed=5, faults=_deaths({0: 0, 1: 0, 2: 0})
         )
         assert result.total_attempts == 0
 
     def test_failures_do_not_leak_between_runs(self, tiny_experiment):
-        tiny_experiment.run(rr_policy(3), seed=5, failures={0: 0})
+        tiny_experiment.run(rr_policy(3), seed=5, faults=_deaths({0: 0}))
         clean = tiny_experiment.run(rr_policy(3), seed=5)
         assert any(0 in r.active_nodes for r in clean.records)
+        assert clean.fault_stats is None
 
 
 class TestHybridSupply:
@@ -92,7 +101,7 @@ class TestRecallExpiryConfig:
         try:
             tiny_experiment.config = replace(saved, max_recall_age_slots=6)
             result = tiny_experiment.run(
-                origin_policy(3), seed=7, failures={0: 5}
+                origin_policy(3), seed=7, faults=_deaths({0: 5})
             )
         finally:
             tiny_experiment.config = saved
