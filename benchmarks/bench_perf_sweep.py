@@ -1,0 +1,160 @@
+"""Benchmark the sweep performance layer (prediction cache + workers).
+
+Times the paper policy grid three ways on a standard MHEALTH-like
+experiment and writes the machine-readable comparison to
+``benchmarks/results/BENCH_sweep.json``:
+
+1. sequential, cache off — every run rebuilds its own material
+   (timeline, windows, batched softmax) from scratch;
+2. sequential, cache on — one material per seed shared by all
+   policies of the grid;
+3. parallel, cache on — the same cached sweep fanned out over a
+   process pool.
+
+All three must produce byte-identical per-slot records; the script
+exits nonzero if they diverge, which is what the CI smoke step checks
+(``--smoke`` shrinks the grid/horizon so it finishes in seconds and
+leaves the committed JSON untouched unless ``--output`` is given).
+
+Run with ``PYTHONPATH=src python benchmarks/bench_perf_sweep.py``.
+Deliberately a standalone script, not a pytest bench: it measures
+wall-clock ratios and must control its own repetition and output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.sim.experiment import HARExperiment, SimulationConfig
+from repro.sim.sweep import PolicySweep, paper_policy_grid
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "results", "BENCH_sweep.json")
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid + short horizon; verify identity only, skip the JSON",
+    )
+    parser.add_argument("--seeds", type=int, default=4, help="seeds per sweep")
+    parser.add_argument("--workers", type=int, default=4, help="parallel pool size")
+    parser.add_argument(
+        "--n-windows", type=int, default=300, help="slots per run (one window each)"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"JSON destination (default {DEFAULT_OUTPUT}; never written in --smoke "
+        "mode unless given explicitly)",
+    )
+    return parser.parse_args(argv)
+
+
+def results_identical(a, b):
+    """Byte-identity of two SweepResults over the whole grid."""
+    if set(a.policies) != set(b.policies):
+        return False
+    for name in a.policies:
+        lhs, rhs = a.policy(name), b.policy(name)
+        if lhs.records != rhs.records:
+            return False
+        if lhs.node_stats != rhs.node_stats:
+            return False
+        if lhs.comm_energy_j != rhs.comm_energy_j:
+            return False
+    return True
+
+
+def timed_sweep(experiment, policies, *, n_seeds, seed, cache, workers):
+    sweep = PolicySweep(
+        experiment,
+        n_seeds=n_seeds,
+        include_baselines=False,
+        use_prediction_cache=cache,
+    )
+    start = time.perf_counter()
+    result = sweep.run(policies, seed=seed, workers=workers)
+    return time.perf_counter() - start, result
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.smoke:
+        n_windows, n_seeds, policies = 40, 2, paper_policy_grid(rr_lengths=(3,))
+    else:
+        n_windows, n_seeds = args.n_windows, args.seeds
+        policies = paper_policy_grid()
+
+    print(
+        f"building experiment (n_windows={n_windows}, grid={len(policies)} policies, "
+        f"seeds={n_seeds}, workers={args.workers}) ...",
+        flush=True,
+    )
+    experiment = HARExperiment.standard_mhealth(
+        seed=7, config=SimulationConfig(n_windows=n_windows)
+    )
+
+    run = lambda **kw: timed_sweep(  # noqa: E731
+        experiment, policies, n_seeds=n_seeds, seed=11, **kw
+    )
+    t_uncached, r_uncached = run(cache=False, workers=1)
+    print(f"sequential uncached : {t_uncached:8.2f} s", flush=True)
+    t_cached, r_cached = run(cache=True, workers=1)
+    print(f"sequential cached   : {t_cached:8.2f} s", flush=True)
+    t_parallel, r_parallel = run(cache=True, workers=args.workers)
+    print(f"parallel cached x{args.workers}  : {t_parallel:8.2f} s", flush=True)
+
+    identical = results_identical(r_uncached, r_cached) and results_identical(
+        r_uncached, r_parallel
+    )
+    if not identical:
+        print("FAIL: cached/parallel sweeps diverged from the uncached baseline")
+        return 1
+    print("per-slot records byte-identical across all three modes")
+
+    best = min(t_cached, t_parallel)
+    report = {
+        "bench": "policy_sweep_performance",
+        "config": {
+            "dataset": "mhealth-like",
+            "n_windows": n_windows,
+            "n_seeds": n_seeds,
+            "n_policies": len(policies),
+            "workers": args.workers,
+            "cpu_count": os.cpu_count(),
+            "smoke": args.smoke,
+        },
+        "timings_s": {
+            "sequential_uncached": round(t_uncached, 3),
+            "sequential_cached": round(t_cached, 3),
+            f"parallel_cached_x{args.workers}": round(t_parallel, 3),
+        },
+        "speedup": {
+            "cached_vs_uncached": round(t_uncached / t_cached, 2),
+            "parallel_vs_uncached": round(t_uncached / t_parallel, 2),
+            "best_vs_uncached": round(t_uncached / best, 2),
+        },
+        "records_identical": identical,
+    }
+    print(json.dumps(report["speedup"], indent=2))
+
+    output = args.output
+    if output is None and not args.smoke:
+        output = DEFAULT_OUTPUT
+    if output:
+        os.makedirs(os.path.dirname(os.path.abspath(output)), exist_ok=True)
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,9 +169,11 @@ class ConfidenceMatrix:
         voting weights remain row-normalized via :meth:`weight`).  A
         zero ``adaptation_alpha`` makes this a no-op.
         """
-        current = self.raw_weight(node_id, label)
+        # Validate the observation before the lookup, so a bad
+        # confidence reports itself instead of an unrelated node error.
         if confidence < 0:
             raise ConfigurationError(f"confidence must be >= 0, got {confidence}")
+        current = self.raw_weight(node_id, label)
         if self.adaptation_alpha == 0.0:
             return current
         updated = current + self.adaptation_alpha * (float(confidence) - current)

@@ -10,7 +10,7 @@ a non-empty fault plan is active.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -26,6 +26,15 @@ class LinkStats:
     def drop_rate(self) -> float:
         """Fraction of sent messages that never arrived."""
         return self.messages_dropped / self.messages_sent if self.messages_sent else 0.0
+
+    def __add__(self, other: "LinkStats") -> "LinkStats":
+        """Counter-wise sum (merging one link across runs)."""
+        return LinkStats(
+            messages_sent=self.messages_sent + other.messages_sent,
+            messages_delivered=self.messages_delivered + other.messages_delivered,
+            messages_dropped=self.messages_dropped + other.messages_dropped,
+            messages_corrupted=self.messages_corrupted + other.messages_corrupted,
+        )
 
 
 @dataclass(frozen=True)
@@ -64,6 +73,35 @@ class FaultStats:
     offline_slots: Dict[int, int] = field(default_factory=dict)
     recoveries: Tuple[RecoveryEvent, ...] = ()
     host_restarts: int = 0
+
+    @classmethod
+    def merged(cls, runs: Sequence["FaultStats"]) -> "FaultStats":
+        """Aggregate several runs' accounting into one.
+
+        Delivery counters sum per link, offline slots sum per node,
+        recovery events concatenate in run order, restarts sum — so a
+        multi-seed sweep reports the fault exposure of *all* its runs,
+        not just the last one.
+        """
+        per_link: Dict[int, LinkStats] = {}
+        offline_slots: Dict[int, int] = {}
+        recoveries: list = []
+        host_restarts = 0
+        for stats in runs:
+            for node_id, link in stats.per_link.items():
+                per_link[node_id] = (
+                    per_link[node_id] + link if node_id in per_link else link
+                )
+            for node_id, slots in stats.offline_slots.items():
+                offline_slots[node_id] = offline_slots.get(node_id, 0) + slots
+            recoveries.extend(stats.recoveries)
+            host_restarts += stats.host_restarts
+        return cls(
+            per_link=per_link,
+            offline_slots=offline_slots,
+            recoveries=tuple(recoveries),
+            host_restarts=host_restarts,
+        )
 
     # ------------------------------------------------------------------
 

@@ -82,9 +82,15 @@ class Sequential:
     # ------------------------------------------------------------------
 
     def predict_logits(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Inference-mode logits, computed in batches."""
+        """Inference-mode logits, computed in batches.
+
+        A zero-row input yields an empty ``(0, *output_shape)`` array
+        (batched precompute paths legitimately see empty window sets).
+        """
         self._require_built()
         x = np.asarray(x)
+        if x.shape[0] == 0:
+            return np.zeros((0, *self.output_shape), dtype=np.float64)
         outputs = [
             self.forward(x[start : start + batch_size], training=False)
             for start in range(0, x.shape[0], batch_size)

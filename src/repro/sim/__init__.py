@@ -7,12 +7,15 @@
 * :mod:`repro.sim.baselines` — the fully-powered baseline evaluator;
 * :mod:`repro.sim.completion` — the Fig. 1 motivation study;
 * :mod:`repro.sim.personalization` — the Fig. 6 adaptation study;
-* :mod:`repro.sim.sweep` — policy grids for Figs. 4/5 and Table I.
+* :mod:`repro.sim.sweep` — policy grids for Figs. 4/5 and Table I;
+* :mod:`repro.sim.predcache` — the per-seed material shared by every
+  policy of a sweep (timeline, windows, batched softmax).
 """
 
 from repro.sim.training import TrainedLocationModel, TrainedSensorBundle, TrainingConfig
 from repro.sim.results import CompletionBreakdown, ExperimentResult, SlotRecord
 from repro.sim.experiment import HARExperiment, SimulationConfig
+from repro.sim.predcache import PredictionCache, RunMaterial, build_run_material
 from repro.sim.baselines import BaselineResult, evaluate_baseline, per_sensor_accuracy
 from repro.sim.completion import CompletionExperiment, CompletionStudyResult
 from repro.sim.personalization import PersonalizationExperiment, PersonalizationResult
@@ -27,6 +30,9 @@ __all__ = [
     "SlotRecord",
     "HARExperiment",
     "SimulationConfig",
+    "PredictionCache",
+    "RunMaterial",
+    "build_run_material",
     "BaselineResult",
     "evaluate_baseline",
     "per_sensor_accuracy",

@@ -30,15 +30,14 @@ from repro.core.policies import AggregationMode, PolicySpec
 from repro.core.scheduling.base import SchedulingContext
 from repro.datasets.base import HARDataset
 from repro.datasets.body import BodyLocation
-from repro.datasets.markov import MarkovActivityModel
 from repro.datasets.subjects import SubjectProfile
-from repro.datasets.synthesis import StyleWobble
 from repro.energy.harvester import Harvester
 from repro.energy.nvp import NonVolatileProcessor
 from repro.energy.storage import Capacitor
 from repro.energy.traces import PowerTraceGenerator
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.plan import FaultPlan
+from repro.sim.predcache import RunMaterial, build_run_material, default_subject
 from repro.sim.results import ExperimentResult, SlotRecord
 from repro.sim.training import TrainedSensorBundle, TrainingConfig
 from repro.utils.rng import SeedSequenceFactory
@@ -258,6 +257,7 @@ class HARExperiment:
         window_transform: Optional[WindowTransform] = None,
         failures: Optional[Dict[int, int]] = None,
         faults: Optional[FaultPlan] = None,
+        material: Optional[RunMaterial] = None,
     ) -> ExperimentResult:
         """Simulate ``policy`` and return the full result.
 
@@ -287,6 +287,14 @@ class HARExperiment:
             for bit; a non-empty plan attaches
             :class:`~repro.faults.FaultStats` degradation accounting to
             the result.
+        material:
+            Precomputed :class:`~repro.sim.predcache.RunMaterial` for
+            this exact ``(seed, subject, config)`` — typically served by
+            a :class:`~repro.sim.predcache.PredictionCache` so one
+            seed's timeline/windows/softmax are shared by every policy
+            of a sweep.  ``None`` (the default) builds fresh material
+            for this run; either way the run consumes identical arrays,
+            so results are byte-identical with and without sharing.
         """
         if failures is not None:
             warnings.warn(
@@ -305,19 +313,32 @@ class HARExperiment:
         run_seed = self.seed if seed is None else int(seed)
         factory = SeedSequenceFactory(run_seed)
         spec = self.dataset.spec
-        subject = subject or (
-            self.dataset.eval_subjects[0]
-            if self.dataset.eval_subjects
-            else SubjectProfile.canonical()
-        )
+        subject = subject or default_subject(self.dataset)
 
-        # Ground-truth activity timeline with temporal continuity.
-        markov = MarkovActivityModel(
-            list(spec.activities),
-            window_duration_s=spec.window_duration_s,
-            dwell_scale=config.dwell_scale,
-        )
-        labels = markov.sample_labels(config.n_windows, factory.generator("timeline"))
+        # The policy-independent precompute: timeline, styles, windows
+        # and (unless the windows will be transformed) batched softmax
+        # outputs.  A caller-provided material is validated, then
+        # consumed exactly like a fresh one.
+        if material is None:
+            material = build_run_material(
+                self.dataset,
+                self.bundle,
+                run_seed,
+                n_windows=config.n_windows,
+                dwell_scale=config.dwell_scale,
+                use_pruned_models=config.use_pruned_models,
+                subject=subject,
+                with_predictions=window_transform is None,
+            )
+        else:
+            material.check_compatible(
+                seed=run_seed,
+                n_windows=config.n_windows,
+                dwell_scale=config.dwell_scale,
+                use_pruned_models=config.use_pruned_models,
+                subject=subject,
+            )
+        labels = material.labels
 
         # Network.
         nodes = self._build_nodes(factory, config)
@@ -365,16 +386,12 @@ class HARExperiment:
         scheduler = policy.make_scheduler(network.node_ids(), self.bundle.rank_table)
         scheduler.reset()
 
-        window_rngs = {
-            node.node_id: factory.generator(f"windows/{node.location.value}")
-            for node in nodes
-        }
-        synthesizer = self.dataset.synthesizer
-        # One execution-style wobble per slot, shared by every sensor on
-        # the body (see StyleWobble) — drawn for all slots up front so
-        # the stream is identical regardless of which nodes are active.
-        style_rng = factory.generator("style")
-        styles = [StyleWobble.sample(style_rng) for _ in range(config.n_windows)]
+        # Cached softmax consumption: a transform changes the sensed
+        # window after synthesis, so transformed runs fall back to the
+        # node's own per-window inference.
+        if material.probabilities is not None and window_transform is None:
+            for node in nodes:
+                node.prediction_cache = material.probabilities[node.node_id]
 
         result = ExperimentResult(policy_name=policy.name, activities=list(spec.activities))
         last_final: Optional[int] = None
@@ -417,14 +434,7 @@ class HARExperiment:
 
             windows: Dict[int, np.ndarray] = {}
             for node_id in active:
-                node = network.node(node_id)
-                window = synthesizer.window(
-                    labels[slot],
-                    node.location,
-                    subject,
-                    window_rngs[node_id],
-                    style=styles[slot],
-                )
+                window = material.windows[node_id][slot]
                 if window_transform is not None:
                     window = window_transform(window)
                 windows[node_id] = window

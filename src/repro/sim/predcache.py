@@ -1,0 +1,259 @@
+"""Per-seed run material and the shared prediction cache.
+
+Everything upstream of scheduling is fully determined by ``(dataset,
+seed, subject, deployment config)``: the ground-truth activity timeline,
+the per-slot style wobbles, every node's sensed-window stream — and
+therefore every node's softmax output for every slot it could possibly
+classify.  A policy sweep evaluates the whole RR/AAS/AASR/Origin ladder
+on exactly those seeds, so this module materializes the shared part once
+per seed (:func:`build_run_material`) and lets every policy run consume
+it (:class:`PredictionCache`), removing window synthesis and DNN
+inference from the per-policy cost.
+
+Determinism contract
+--------------------
+Windows are drawn for *all* slots up front from each node's labeled RNG
+stream (exactly like the style stream always was), so the window a node
+senses at slot ``s`` does not depend on which earlier slots the policy
+made it active in.  That is what makes the material policy-independent.
+Predictions are computed with one batched ``predict_proba`` pass per
+node; since the per-slot runtime consumes the same arrays in every mode,
+cached, uncached (per-run rebuilt) and parallel runs are byte-identical
+— the test suite and the CI benchmark smoke both assert this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datasets.activities import Activity
+from repro.datasets.base import HARDataset
+from repro.datasets.markov import MarkovActivityModel
+from repro.datasets.profiles import N_CHANNELS
+from repro.datasets.subjects import SubjectProfile
+from repro.datasets.synthesis import StyleWobble
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedSequenceFactory
+
+#: Default inference batch size for the precompute pass.
+DEFAULT_BATCH_SIZE = 256
+
+
+def default_subject(dataset: HARDataset) -> SubjectProfile:
+    """The subject a run simulates when none is given.
+
+    The first held-out evaluation subject, falling back to the canonical
+    profile for datasets without an evaluation split.
+    """
+    if dataset.eval_subjects:
+        return dataset.eval_subjects[0]
+    return SubjectProfile.canonical()
+
+
+@dataclass
+class RunMaterial:
+    """The policy-independent precompute of one ``(seed, subject)`` run.
+
+    Attributes
+    ----------
+    seed / n_windows / dwell_scale / use_pruned_models / subject:
+        The parameters the material was built for; a run validates its
+        own against them before consuming (:meth:`check_compatible`).
+    labels:
+        Ground-truth activity per slot (the Markov timeline).
+    styles:
+        The shared execution-style wobble per slot.
+    windows:
+        ``{node id: (n_windows, channels, window) float32}`` — every
+        node's sensed window for every slot.
+    probabilities:
+        ``{node id: (n_windows, n_classes) float64}`` softmax outputs,
+        or ``None`` when built without predictions (e.g. for
+        window-transform runs, whose windows change after synthesis).
+    """
+
+    seed: int
+    n_windows: int
+    dwell_scale: float
+    use_pruned_models: bool
+    subject: SubjectProfile
+    labels: List[Activity]
+    styles: List[StyleWobble]
+    windows: Dict[int, np.ndarray]
+    probabilities: Optional[Dict[int, np.ndarray]] = None
+
+    def check_compatible(
+        self,
+        *,
+        seed: int,
+        n_windows: int,
+        dwell_scale: float,
+        use_pruned_models: bool,
+        subject: SubjectProfile,
+    ) -> None:
+        """Raise :class:`ConfigurationError` unless the material matches."""
+        wanted = (seed, n_windows, dwell_scale, use_pruned_models, subject.subject_id)
+        have = (
+            self.seed,
+            self.n_windows,
+            self.dwell_scale,
+            self.use_pruned_models,
+            self.subject.subject_id,
+        )
+        if wanted != have:
+            raise ConfigurationError(
+                f"run material was built for (seed, n_windows, dwell_scale, "
+                f"pruned, subject)={have}, but the run needs {wanted}"
+            )
+
+
+def build_run_material(
+    dataset: HARDataset,
+    bundle,
+    seed: int,
+    *,
+    n_windows: int,
+    dwell_scale: float,
+    use_pruned_models: bool = True,
+    subject: Optional[SubjectProfile] = None,
+    with_predictions: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> RunMaterial:
+    """Materialize one seed's timeline, windows and (optionally) softmax.
+
+    ``bundle`` is a :class:`~repro.sim.training.TrainedSensorBundle`;
+    only its node-id mapping and (when ``with_predictions``) its models
+    are consulted.  RNG streams use the same labels as the historical
+    in-run draws (``timeline``, ``style``, ``windows/<location>``), so
+    the material is a pure function of ``(dataset, bundle, seed,
+    subject, n_windows, dwell_scale)``.
+    """
+    if n_windows < 1:
+        raise ConfigurationError(f"n_windows must be >= 1, got {n_windows}")
+    if batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    factory = SeedSequenceFactory(int(seed))
+    spec = dataset.spec
+    subject = subject or default_subject(dataset)
+
+    markov = MarkovActivityModel(
+        list(spec.activities),
+        window_duration_s=spec.window_duration_s,
+        dwell_scale=dwell_scale,
+    )
+    labels = markov.sample_labels(n_windows, factory.generator("timeline"))
+
+    # One execution-style wobble per slot, shared by every sensor on the
+    # body (see StyleWobble) — drawn for all slots up front so the
+    # stream is identical regardless of which nodes are active.
+    style_rng = factory.generator("style")
+    styles = [StyleWobble.sample(style_rng) for _ in range(n_windows)]
+
+    synthesizer = dataset.synthesizer
+    windows: Dict[int, np.ndarray] = {}
+    for location in spec.locations:
+        node_id = bundle.node_id_of(location)
+        rng = factory.generator(f"windows/{location.value}")
+        stream = np.empty(
+            (n_windows, N_CHANNELS, synthesizer.window_size), dtype=np.float32
+        )
+        for slot, activity in enumerate(labels):
+            stream[slot] = synthesizer.window(
+                activity, location, subject, rng, style=styles[slot]
+            )
+        windows[node_id] = stream
+
+    probabilities: Optional[Dict[int, np.ndarray]] = None
+    if with_predictions:
+        models = bundle.models(pruned=use_pruned_models)
+        probabilities = {
+            node_id: models[node_id].predict_proba(stream, batch_size=batch_size)
+            for node_id, stream in windows.items()
+        }
+
+    return RunMaterial(
+        seed=int(seed),
+        n_windows=int(n_windows),
+        dwell_scale=float(dwell_scale),
+        use_pruned_models=bool(use_pruned_models),
+        subject=subject,
+        labels=labels,
+        styles=styles,
+        windows=windows,
+        probabilities=probabilities,
+    )
+
+
+class PredictionCache:
+    """Memoized :class:`RunMaterial` per seed for one experiment.
+
+    One cache serves every policy of a sweep: the first run of a seed
+    pays the precompute, the other fifteen grid policies reuse it.  The
+    cache is keyed by everything the material depends on, so changing
+    ``n_windows``, ``dwell_scale``, the model variant or the subject
+    builds fresh material instead of serving a stale one.
+
+    Parameters
+    ----------
+    experiment:
+        The :class:`~repro.sim.experiment.HARExperiment` whose dataset,
+        bundle and config define the material.
+    batch_size:
+        Batch size of the prediction precompute.
+    """
+
+    def __init__(self, experiment, *, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.experiment = experiment
+        self.batch_size = int(batch_size)
+        self._materials: Dict[tuple, RunMaterial] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._materials)
+
+    def material(
+        self,
+        seed: int,
+        *,
+        subject: Optional[SubjectProfile] = None,
+        with_predictions: bool = True,
+    ) -> RunMaterial:
+        """The (memoized) material for ``seed`` under the experiment config."""
+        config = self.experiment.config
+        subject = subject or default_subject(self.experiment.dataset)
+        key = (
+            int(seed),
+            config.n_windows,
+            config.dwell_scale,
+            config.use_pruned_models,
+            subject.subject_id,
+            bool(with_predictions),
+        )
+        cached = self._materials.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        material = build_run_material(
+            self.experiment.dataset,
+            self.experiment.bundle,
+            seed,
+            n_windows=config.n_windows,
+            dwell_scale=config.dwell_scale,
+            use_pruned_models=config.use_pruned_models,
+            subject=subject,
+            with_predictions=with_predictions,
+            batch_size=self.batch_size,
+        )
+        self._materials[key] = material
+        return material
+
+    def clear(self) -> None:
+        """Drop every memoized material (frees the window arrays)."""
+        self._materials.clear()

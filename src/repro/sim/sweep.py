@@ -1,9 +1,26 @@
-"""Policy grids for Figs. 4/5 and Table I."""
+"""Policy grids for Figs. 4/5 and Table I.
+
+The sweep is the hot path of every headline experiment: the full ladder
+is 16 policies x ``n_seeds`` runs.  Two performance layers keep it fast:
+
+* a per-seed :class:`~repro.sim.predcache.PredictionCache` shares the
+  timeline/window/softmax precompute across every policy of a seed, and
+* ``run(..., workers=N)`` fans ``(policy, seed)`` work out across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` with picklable run
+  specs; work units are grouped seed-major so each worker builds one
+  material per seed it owns.
+
+Both layers are bit-transparent: cached, uncached and parallel sweeps
+produce byte-identical results (asserted by the test suite and the CI
+benchmark smoke).
+"""
 
 from __future__ import annotations
 
+import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,9 +36,12 @@ from repro.core.policies import (
 )
 from repro.datasets.activities import Activity
 from repro.errors import ConfigurationError
+from repro.faults.stats import FaultStats
 from repro.sim.baselines import BaselineResult, evaluate_baseline
 from repro.sim.experiment import HARExperiment
+from repro.sim.predcache import PredictionCache
 from repro.sim.results import ExperimentResult
+from repro.wsn.node import NodeStats
 
 
 def paper_policy_grid(rr_lengths: Sequence[int] = (3, 6, 9, 12)) -> List[PolicySpec]:
@@ -106,6 +126,16 @@ class PolicySweep:
 
     Averaging over ``n_seeds`` independent runs (different timelines and
     traces, same trained models) stabilizes the reported accuracies.
+
+    Parameters
+    ----------
+    experiment / n_seeds / include_baselines:
+        What to sweep and how many seeds to merge.
+    use_prediction_cache:
+        Share each seed's :class:`~repro.sim.predcache.RunMaterial`
+        across every policy (default).  ``False`` rebuilds the material
+        per run — byte-identical results, just slower; kept as the
+        benchmark baseline and as a bisection tool.
     """
 
     def __init__(
@@ -114,30 +144,42 @@ class PolicySweep:
         *,
         n_seeds: int = 1,
         include_baselines: bool = True,
+        use_prediction_cache: bool = True,
     ) -> None:
         if n_seeds < 1:
             raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
         self.experiment = experiment
         self.n_seeds = int(n_seeds)
         self.include_baselines = bool(include_baselines)
+        self.use_prediction_cache = bool(use_prediction_cache)
 
     def run(
         self,
         policies: Optional[Sequence[PolicySpec]] = None,
         *,
         seed: Optional[int] = None,
+        workers: int = 1,
     ) -> SweepResult:
-        """Run the grid; multi-seed runs are merged slot-wise."""
+        """Run the grid; multi-seed runs are merged slot-wise.
+
+        ``workers > 1`` fans the (policy, seed) grid out across that
+        many processes; ``workers=1`` is the plain sequential loop.
+        Results are merged in policy-grid order either way, so the
+        returned :class:`SweepResult` is identical for any worker
+        count.
+        """
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         policies = list(policies) if policies is not None else paper_policy_grid()
         base_seed = self.experiment.seed if seed is None else int(seed)
         result = SweepResult(activities=list(self.experiment.dataset.spec.activities))
 
+        if workers == 1 or not policies:
+            runs_by_policy = self._run_sequential(policies, base_seed)
+        else:
+            runs_by_policy = self._run_parallel(policies, base_seed, workers)
         for spec in policies:
-            runs = [
-                self.experiment.run(spec, seed=base_seed + offset)
-                for offset in range(self.n_seeds)
-            ]
-            result.policies[spec.name] = _merge_runs(runs)
+            result.policies[spec.name] = _merge_runs(runs_by_policy[spec.name])
 
         if self.include_baselines:
             for baseline in (Baseline1, Baseline2):
@@ -147,6 +189,67 @@ class PolicySweep:
                 ]
                 result.baselines[baseline.name] = _merge_baselines(runs)
         return result
+
+    # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+
+    def _run_sequential(
+        self, policies: Sequence[PolicySpec], base_seed: int
+    ) -> Dict[str, List[ExperimentResult]]:
+        """Seed-major loop: one material build serves every policy."""
+        cache = (
+            PredictionCache(self.experiment) if self.use_prediction_cache else None
+        )
+        runs: Dict[str, List[ExperimentResult]] = {spec.name: [] for spec in policies}
+        for offset in range(self.n_seeds):
+            run_seed = base_seed + offset
+            material = cache.material(run_seed) if cache is not None else None
+            for spec in policies:
+                runs[spec.name].append(
+                    self.experiment.run(spec, seed=run_seed, material=material)
+                )
+        return runs
+
+    def _run_parallel(
+        self, policies: Sequence[PolicySpec], base_seed: int, workers: int
+    ) -> Dict[str, List[ExperimentResult]]:
+        """Fan (policy, seed) units out over a process pool.
+
+        Units are seed-major chunks of the policy list: with fewer
+        workers than seeds each unit is a whole seed (one material
+        build per unit); with more workers each seed's policy list is
+        split so every worker stays busy.  Unit order — and therefore
+        result order — is deterministic.
+        """
+        chunks = min(
+            max(1, math.ceil(workers / self.n_seeds)), len(policies)
+        )
+        units: List[Tuple[int, List[int]]] = []
+        for offset in range(self.n_seeds):
+            for indices in _split_indices(len(policies), chunks):
+                units.append((offset, indices))
+
+        runs: Dict[str, List[ExperimentResult]] = {
+            spec.name: [None] * self.n_seeds for spec in policies
+        }
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_sweep_worker,
+            initargs=(self.experiment, self.use_prediction_cache),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_sweep_unit,
+                    [policies[index] for index in indices],
+                    base_seed + offset,
+                )
+                for offset, indices in units
+            ]
+            for (offset, indices), future in zip(units, futures):
+                for index, run in zip(indices, future.result()):
+                    runs[policies[index].name][offset] = run
+        return runs
 
     def _run_baseline(self, baseline: BaselineSpec, seed: int) -> BaselineResult:
         return evaluate_baseline(
@@ -159,8 +262,52 @@ class PolicySweep:
         )
 
 
+# ---------------------------------------------------------------------------
+# process-pool plumbing (module level so everything pickles)
+# ---------------------------------------------------------------------------
+
+_WORKER_EXPERIMENT: Optional[HARExperiment] = None
+_WORKER_CACHE: Optional[PredictionCache] = None
+
+
+def _init_sweep_worker(experiment: HARExperiment, use_prediction_cache: bool) -> None:
+    """Install the (pickled-once) experiment in this worker process."""
+    global _WORKER_EXPERIMENT, _WORKER_CACHE
+    _WORKER_EXPERIMENT = experiment
+    _WORKER_CACHE = PredictionCache(experiment) if use_prediction_cache else None
+
+
+def _run_sweep_unit(specs: List[PolicySpec], seed: int) -> List[ExperimentResult]:
+    """Run one seed's chunk of policies inside a worker process."""
+    if _WORKER_EXPERIMENT is None:
+        raise ConfigurationError("sweep worker used before initialization")
+    material = _WORKER_CACHE.material(seed) if _WORKER_CACHE is not None else None
+    return [
+        _WORKER_EXPERIMENT.run(spec, seed=seed, material=material) for spec in specs
+    ]
+
+
+def _split_indices(count: int, chunks: int) -> List[List[int]]:
+    """``range(count)`` as ``chunks`` near-equal contiguous index lists."""
+    step = math.ceil(count / chunks)
+    return [
+        list(range(start, min(start + step, count)))
+        for start in range(0, count, step)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# multi-seed merging
+# ---------------------------------------------------------------------------
+
+
 def _merge_runs(runs: List[ExperimentResult]) -> ExperimentResult:
-    """Concatenate multi-seed runs into one result."""
+    """Concatenate multi-seed runs into one result.
+
+    Slot records concatenate; per-node counters sum across runs; fault
+    accounting (when any run carries it) merges into one
+    :class:`~repro.faults.stats.FaultStats`.
+    """
     merged = ExperimentResult(
         policy_name=runs[0].policy_name, activities=runs[0].activities
     )
@@ -168,7 +315,16 @@ def _merge_runs(runs: List[ExperimentResult]) -> ExperimentResult:
         merged.records.extend(run.records)
         merged.comm_energy_j += run.comm_energy_j
         merged.confidence_updates += run.confidence_updates
-    merged.node_stats = runs[-1].node_stats
+    node_ids = sorted({node_id for run in runs for node_id in run.node_stats})
+    merged.node_stats = {
+        node_id: NodeStats.merged(
+            run.node_stats[node_id] for run in runs if node_id in run.node_stats
+        )
+        for node_id in node_ids
+    }
+    faulted = [run.fault_stats for run in runs if run.fault_stats is not None]
+    if faulted:
+        merged.fault_stats = FaultStats.merged(faulted)
     return merged
 
 

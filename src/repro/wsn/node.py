@@ -16,8 +16,8 @@ the outcome then reports the slot whose window was actually classified
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass, field, fields
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -64,6 +64,19 @@ class NodeStats:
     def completion_rate(self) -> float:
         """Completions per active slot (0 when never active)."""
         return self.completions / self.active_slots if self.active_slots else 0.0
+
+    @classmethod
+    def merged(cls, stats: Iterable["NodeStats"]) -> "NodeStats":
+        """Field-wise sum over several runs' counters for one node."""
+        total = cls()
+        for entry in stats:
+            for field_ in fields(cls):
+                setattr(
+                    total,
+                    field_.name,
+                    getattr(total, field_.name) + getattr(entry, field_.name),
+                )
+        return total
 
 
 @dataclass(frozen=True)
@@ -154,6 +167,12 @@ class SensorNode:
         #: harvested energy (shadowing windows).
         self.online: bool = True
         self.harvest_gate: Optional[Callable[[int], float]] = None
+        #: Performance surface: when the experiment precomputed this
+        #: node's softmax for every slot (see repro.sim.predcache), a
+        #: ``(n_slots, n_classes)`` array is installed here and a
+        #: completed inference reads row ``started_slot`` instead of
+        #: running a batch-of-1 forward pass.
+        self.prediction_cache: Optional[np.ndarray] = None
         self._pending_window: Optional[np.ndarray] = None
         self._pending_slot: Optional[int] = None
         self._slot_energies: Optional[np.ndarray] = None
@@ -238,10 +257,16 @@ class SensorNode:
                 False, energy_consumed_j=burst.consumed_j,
             )
 
-        # Completed: classify the buffered window and report.
+        # Completed: classify the buffered window and report.  The
+        # window's softmax either comes from the run's precompute (the
+        # row for the slot whose window was buffered) or from the
+        # model directly.
         self.nvp.acknowledge_completion()
         started_slot = self._pending_slot
-        probabilities = self.model.predict_proba(self._pending_window[None, ...])[0]
+        if self.prediction_cache is not None and started_slot is not None:
+            probabilities = self.prediction_cache[started_slot]
+        else:
+            probabilities = self.model.predict_proba(self._pending_window[None, ...])[0]
         self._pending_window = None
         self._pending_slot = None
         self.stats.completions += 1

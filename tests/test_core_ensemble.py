@@ -87,6 +87,12 @@ class TestConfidenceMatrix:
         with pytest.raises(ConfigurationError):
             matrix.update(0, 0, confidence=-0.1)
 
+    def test_negative_confidence_validated_before_node_lookup(self, matrix):
+        """Regression: a bad confidence must report itself even when the
+        node id is also unknown, not hide behind the node error."""
+        with pytest.raises(ConfigurationError, match="confidence must be >= 0"):
+            matrix.update(99, 0, confidence=-0.1)
+
     def test_inconsistent_rows_rejected(self):
         with pytest.raises(ConfigurationError):
             ConfidenceMatrix({0: [0.1, 0.2], 1: [0.1, 0.2, 0.3]})

@@ -1,0 +1,269 @@
+"""The sweep performance layer: run material, prediction cache, the
+process-pool executor, and multi-seed merge accounting.
+
+The load-bearing property throughout is *bit-transparency*: sharing the
+per-seed precompute (or fanning runs out over processes) must not change
+a single byte of any result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import origin_policy, rr_policy
+from repro.datasets.noise import add_gaussian_noise_snr
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, PacketLoss
+from repro.faults.stats import FaultStats, LinkStats, RecoveryEvent
+from repro.sim.predcache import PredictionCache, build_run_material
+from repro.sim.sweep import PolicySweep, _merge_runs
+from repro.wsn.node import NodeStats
+
+
+# ---------------------------------------------------------------------------
+# empty-batch prediction (the precompute path's edge case)
+# ---------------------------------------------------------------------------
+
+
+class TestEmptyBatchPredict:
+    def test_empty_logits_shape(self, tiny_bundle):
+        model = next(iter(tiny_bundle.models(pruned=True).values()))
+        empty = np.zeros((0, 6, 128), dtype=np.float32)
+        logits = model.predict_logits(empty)
+        assert logits.shape == (0, model.output_shape[0])
+
+    def test_empty_proba_and_labels(self, tiny_bundle):
+        model = next(iter(tiny_bundle.models(pruned=False).values()))
+        empty = np.zeros((0, 6, 128), dtype=np.float32)
+        proba = model.predict_proba(empty)
+        assert proba.shape == (0, model.output_shape[0])
+        assert model.predict(empty).shape == (0,)
+
+
+# ---------------------------------------------------------------------------
+# run material + cache
+# ---------------------------------------------------------------------------
+
+
+class TestRunMaterial:
+    def test_material_is_deterministic(self, tiny_experiment):
+        kwargs = dict(n_windows=40, dwell_scale=3.5)
+        a = build_run_material(
+            tiny_experiment.dataset, tiny_experiment.bundle, 9, **kwargs
+        )
+        b = build_run_material(
+            tiny_experiment.dataset, tiny_experiment.bundle, 9, **kwargs
+        )
+        assert a.labels == b.labels
+        for node_id in a.windows:
+            np.testing.assert_array_equal(a.windows[node_id], b.windows[node_id])
+            np.testing.assert_array_equal(
+                a.probabilities[node_id], b.probabilities[node_id]
+            )
+
+    def test_material_shapes(self, tiny_experiment):
+        material = build_run_material(
+            tiny_experiment.dataset,
+            tiny_experiment.bundle,
+            2,
+            n_windows=25,
+            dwell_scale=3.5,
+        )
+        n_classes = tiny_experiment.dataset.n_classes
+        assert len(material.labels) == 25
+        assert len(material.styles) == 25
+        for node_id, probs in material.probabilities.items():
+            assert probs.shape == (25, n_classes)
+            np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_cache_memoizes_per_seed(self, tiny_experiment):
+        cache = PredictionCache(tiny_experiment)
+        first = cache.material(4)
+        again = cache.material(4)
+        other = cache.material(5)
+        assert first is again
+        assert first is not other
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_mismatched_material_rejected(self, tiny_experiment):
+        cache = PredictionCache(tiny_experiment)
+        material = cache.material(4)
+        with pytest.raises(ConfigurationError):
+            tiny_experiment.run(rr_policy(3), seed=5, material=material)
+        with pytest.raises(ConfigurationError):
+            tiny_experiment.run(
+                rr_policy(3), seed=4, n_windows=10, material=material
+            )
+
+
+# ---------------------------------------------------------------------------
+# bit-identity of cached vs uncached vs parallel runs
+# ---------------------------------------------------------------------------
+
+
+def _assert_results_identical(a, b):
+    assert a.records == b.records
+    assert a.node_stats == b.node_stats
+    assert a.comm_energy_j == b.comm_energy_j
+    assert a.confidence_updates == b.confidence_updates
+
+
+class TestCacheBitIdentity:
+    @pytest.mark.parametrize("spec", [rr_policy(3), origin_policy(6)], ids=lambda s: s.name)
+    def test_cached_run_matches_uncached(self, tiny_experiment, spec):
+        cache = PredictionCache(tiny_experiment)
+        cached = tiny_experiment.run(spec, seed=4, material=cache.material(4))
+        uncached = tiny_experiment.run(spec, seed=4)
+        _assert_results_identical(cached, uncached)
+
+    def test_cached_sweep_matches_uncached_sweep(self, tiny_experiment):
+        policies = [rr_policy(3), origin_policy(3)]
+        cached = PolicySweep(
+            tiny_experiment, n_seeds=2, use_prediction_cache=True
+        ).run(policies, seed=4)
+        uncached = PolicySweep(
+            tiny_experiment, n_seeds=2, use_prediction_cache=False
+        ).run(policies, seed=4)
+        for spec in policies:
+            _assert_results_identical(
+                cached.policy(spec.name), uncached.policy(spec.name)
+            )
+        for name in cached.baselines:
+            np.testing.assert_array_equal(
+                cached.baseline(name).predicted_labels,
+                uncached.baseline(name).predicted_labels,
+            )
+
+    def test_window_transform_bypasses_cached_predictions(self, tiny_experiment):
+        """A transform changes the sensed window, so the run must infer
+        on the transformed window instead of serving stale softmax."""
+        calls = []
+
+        def transform(window):
+            calls.append(1)
+            return add_gaussian_noise_snr(window, 3.0, seed=0)
+
+        cache = PredictionCache(tiny_experiment)
+        clean = tiny_experiment.run(rr_policy(3), seed=4, material=cache.material(4))
+        noisy = tiny_experiment.run(
+            rr_policy(3), seed=4, material=cache.material(4),
+            window_transform=transform,
+        )
+        assert calls
+        assert noisy.records != clean.records
+
+
+class TestParallelSweep:
+    def test_workers_must_be_positive(self, tiny_experiment):
+        sweep = PolicySweep(tiny_experiment, n_seeds=1)
+        with pytest.raises(ConfigurationError):
+            sweep.run([rr_policy(3)], seed=4, workers=0)
+
+    def test_parallel_matches_sequential(self, tiny_experiment):
+        policies = [rr_policy(3), origin_policy(3)]
+        sweep = PolicySweep(tiny_experiment, n_seeds=2)
+        sequential = sweep.run(policies, seed=4, workers=1)
+        parallel = sweep.run(policies, seed=4, workers=4)
+        assert set(parallel.policies) == set(sequential.policies)
+        for spec in policies:
+            _assert_results_identical(
+                parallel.policy(spec.name), sequential.policy(spec.name)
+            )
+        for name in sequential.baselines:
+            np.testing.assert_array_equal(
+                parallel.baseline(name).true_labels,
+                sequential.baseline(name).true_labels,
+            )
+
+    def test_odd_worker_counts_cover_the_grid(self, tiny_experiment):
+        """Chunking with workers not dividing the grid loses no runs."""
+        policies = [rr_policy(3), rr_policy(6), origin_policy(3)]
+        sweep = PolicySweep(tiny_experiment, n_seeds=2, include_baselines=False)
+        sequential = sweep.run(policies, seed=7, workers=1)
+        parallel = sweep.run(policies, seed=7, workers=3)
+        for spec in policies:
+            _assert_results_identical(
+                parallel.policy(spec.name), sequential.policy(spec.name)
+            )
+
+
+# ---------------------------------------------------------------------------
+# multi-seed merge accounting (the bugfix)
+# ---------------------------------------------------------------------------
+
+
+class TestMergeRuns:
+    def test_node_stats_sum_across_seeds(self, tiny_experiment):
+        """Regression: merged node stats must cover *all* runs, not just
+        the last one (slots double with two 60-slot seeds)."""
+        runs = [
+            tiny_experiment.run(rr_policy(3), seed=4),
+            tiny_experiment.run(rr_policy(3), seed=5),
+        ]
+        merged = _merge_runs(runs)
+        for node_id, stats in merged.node_stats.items():
+            assert stats.slots == 120
+            assert stats.completions == sum(
+                run.node_stats[node_id].completions for run in runs
+            )
+            assert stats.harvested_j == pytest.approx(
+                sum(run.node_stats[node_id].harvested_j for run in runs)
+            )
+
+    def test_sweep_reports_summed_node_stats(self, tiny_experiment):
+        result = PolicySweep(
+            tiny_experiment, n_seeds=2, include_baselines=False
+        ).run([rr_policy(3)], seed=4)
+        merged = result.policy("RR3")
+        assert merged.n_slots == 120
+        assert all(stats.slots == 120 for stats in merged.node_stats.values())
+
+    def test_fault_stats_survive_merging(self, tiny_experiment):
+        """Regression: a multi-seed faulted sweep must carry merged
+        fault accounting instead of silently dropping it."""
+        plan = FaultPlan(faults=(PacketLoss(rate=0.4),))
+        runs = [
+            tiny_experiment.run(rr_policy(3), seed=seed, faults=plan)
+            for seed in (4, 5)
+        ]
+        merged = _merge_runs(runs)
+        assert merged.fault_stats is not None
+        assert merged.fault_stats.messages_sent == sum(
+            run.fault_stats.messages_sent for run in runs
+        )
+        assert merged.fault_stats.messages_dropped == sum(
+            run.fault_stats.messages_dropped for run in runs
+        )
+        assert merged.total_dropped_messages == sum(
+            run.total_dropped_messages for run in runs
+        )
+
+    def test_fault_stats_merged_unit(self):
+        a = FaultStats(
+            per_link={0: LinkStats(10, 8, 2, 1)},
+            offline_slots={0: 5},
+            recoveries=(RecoveryEvent(0, 1, 2, recovered_slot=4),),
+            host_restarts=1,
+        )
+        b = FaultStats(
+            per_link={0: LinkStats(4, 4, 0, 0), 1: LinkStats(6, 3, 3, 0)},
+            offline_slots={1: 7},
+            recoveries=(RecoveryEvent(1, 3, 6),),
+            host_restarts=2,
+        )
+        merged = FaultStats.merged([a, b])
+        assert merged.per_link[0].messages_sent == 14
+        assert merged.per_link[1].messages_dropped == 3
+        assert merged.offline_slots == {0: 5, 1: 7}
+        assert len(merged.recoveries) == 2
+        assert merged.host_restarts == 3
+
+    def test_node_stats_merged_unit(self):
+        merged = NodeStats.merged(
+            [
+                NodeStats(slots=10, completions=3, harvested_j=1.5),
+                NodeStats(slots=20, completions=4, harvested_j=0.5),
+            ]
+        )
+        assert merged.slots == 30
+        assert merged.completions == 7
+        assert merged.harvested_j == pytest.approx(2.0)
