@@ -13,8 +13,13 @@ experiment and writes the machine-readable comparison to
 
 All three must produce byte-identical per-slot records; the script
 exits nonzero if they diverge, which is what the CI smoke step checks
-(``--smoke`` shrinks the grid/horizon so it finishes in seconds and
+(``--smoke`` shrinks the horizon/seeds so it finishes quickly and
 leaves the committed JSON untouched unless ``--output`` is given).
+
+A fourth pass re-runs the cached sequential sweep under a fully
+enabled :class:`repro.obs.Observability` (tracer + metrics) and reports
+the tracing overhead as a percentage of the untraced wall time — the
+budget is <10%, enforced in ``--smoke`` mode.
 
 Run with ``PYTHONPATH=src python benchmarks/bench_perf_sweep.py``.
 Deliberately a standalone script, not a pytest bench: it measures
@@ -27,12 +32,20 @@ import argparse
 import json
 import os
 import sys
-import time
 
+from repro.obs.observer import Observability
 from repro.sim.experiment import HARExperiment, SimulationConfig
 from repro.sim.sweep import PolicySweep, paper_policy_grid
 
+try:
+    from benchmarks.runmeta import WallClock, write_stamped_json
+except ImportError:  # invoked as a script: sibling import
+    from runmeta import WallClock, write_stamped_json
+
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "results", "BENCH_sweep.json")
+
+#: Acceptable tracing overhead (fraction of untraced wall time).
+OVERHEAD_BUDGET = 0.10
 
 
 def parse_args(argv=None):
@@ -40,7 +53,7 @@ def parse_args(argv=None):
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny grid + short horizon; verify identity only, skip the JSON",
+        help="short horizon; verify identity + overhead budget, skip the JSON",
     )
     parser.add_argument("--seeds", type=int, default=4, help="seeds per sweep")
     parser.add_argument("--workers", type=int, default=4, help="parallel pool size")
@@ -71,25 +84,26 @@ def results_identical(a, b):
     return True
 
 
-def timed_sweep(experiment, policies, *, n_seeds, seed, cache, workers):
+def timed_sweep(experiment, policies, *, n_seeds, seed, cache, workers, obs=None):
+    """One sweep run, wall-timed; returns (seconds, SweepResult)."""
     sweep = PolicySweep(
         experiment,
         n_seeds=n_seeds,
         include_baselines=False,
         use_prediction_cache=cache,
     )
-    start = time.perf_counter()
-    result = sweep.run(policies, seed=seed, workers=workers)
-    return time.perf_counter() - start, result
+    with WallClock() as clock:
+        result = sweep.run(policies, seed=seed, workers=workers, obs=obs)
+    return clock.elapsed_s, result
 
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    policies = paper_policy_grid()
     if args.smoke:
-        n_windows, n_seeds, policies = 40, 2, paper_policy_grid(rr_lengths=(3,))
+        n_windows, n_seeds = 40, 2
     else:
         n_windows, n_seeds = args.n_windows, args.seeds
-        policies = paper_policy_grid()
 
     print(
         f"building experiment (n_windows={n_windows}, grid={len(policies)} policies, "
@@ -103,20 +117,48 @@ def main(argv=None) -> int:
     run = lambda **kw: timed_sweep(  # noqa: E731
         experiment, policies, n_seeds=n_seeds, seed=11, **kw
     )
-    t_uncached, r_uncached = run(cache=False, workers=1)
-    print(f"sequential uncached : {t_uncached:8.2f} s", flush=True)
-    t_cached, r_cached = run(cache=True, workers=1)
-    print(f"sequential cached   : {t_cached:8.2f} s", flush=True)
-    t_parallel, r_parallel = run(cache=True, workers=args.workers)
-    print(f"parallel cached x{args.workers}  : {t_parallel:8.2f} s", flush=True)
+    with WallClock() as total_clock:
+        t_uncached, r_uncached = run(cache=False, workers=1)
+        print(f"sequential uncached : {t_uncached:8.2f} s", flush=True)
+        t_cached, r_cached = run(cache=True, workers=1)
+        print(f"sequential cached   : {t_cached:8.2f} s", flush=True)
+        t_parallel, r_parallel = run(cache=True, workers=args.workers)
+        print(f"parallel cached x{args.workers}  : {t_parallel:8.2f} s", flush=True)
 
-    identical = results_identical(r_uncached, r_cached) and results_identical(
-        r_uncached, r_parallel
+        # Overhead pass: same cached sequential sweep, full observability.
+        # In smoke mode each leg takes a fraction of a second, so take
+        # min-of-3 interleaved pairs to keep the budget gate stable
+        # against machine noise.
+        reps = 3 if args.smoke else 1
+        t_base, t_traced = t_cached, None
+        for _ in range(reps):
+            t_plain_i, _ = run(cache=True, workers=1)
+            obs = Observability()
+            t_traced_i, r_traced = run(cache=True, workers=1, obs=obs)
+            t_base = min(t_base, t_plain_i)
+            t_traced = t_traced_i if t_traced is None else min(t_traced, t_traced_i)
+        overhead = (t_traced - t_base) / t_base
+        print(
+            f"traced cached       : {t_traced:8.2f} s "
+            f"({overhead:+.1%} vs untraced, {len(obs.tracer.events)} events)",
+            flush=True,
+        )
+
+    identical = (
+        results_identical(r_uncached, r_cached)
+        and results_identical(r_uncached, r_parallel)
+        and results_identical(r_uncached, r_traced)
     )
     if not identical:
-        print("FAIL: cached/parallel sweeps diverged from the uncached baseline")
+        print("FAIL: cached/parallel/traced sweeps diverged from the baseline")
         return 1
-    print("per-slot records byte-identical across all three modes")
+    print("per-slot records byte-identical across all four modes")
+    if args.smoke and overhead > OVERHEAD_BUDGET:
+        print(
+            f"FAIL: tracing overhead {overhead:.1%} exceeds the "
+            f"{OVERHEAD_BUDGET:.0%} budget"
+        )
+        return 1
 
     best = min(t_cached, t_parallel)
     report = {
@@ -134,24 +176,27 @@ def main(argv=None) -> int:
             "sequential_uncached": round(t_uncached, 3),
             "sequential_cached": round(t_cached, 3),
             f"parallel_cached_x{args.workers}": round(t_parallel, 3),
+            "sequential_cached_traced": round(t_traced, 3),
         },
         "speedup": {
             "cached_vs_uncached": round(t_uncached / t_cached, 2),
             "parallel_vs_uncached": round(t_uncached / t_parallel, 2),
             "best_vs_uncached": round(t_uncached / best, 2),
         },
+        "tracing": {
+            "overhead_fraction": round(overhead, 4),
+            "budget_fraction": OVERHEAD_BUDGET,
+            "trace_events": len(obs.tracer.events),
+        },
         "records_identical": identical,
     }
-    print(json.dumps(report["speedup"], indent=2))
+    print(json.dumps({**report["speedup"], **report["tracing"]}, indent=2))
 
     output = args.output
     if output is None and not args.smoke:
         output = DEFAULT_OUTPUT
     if output:
-        os.makedirs(os.path.dirname(os.path.abspath(output)), exist_ok=True)
-        with open(output, "w") as handle:
-            json.dump(report, handle, indent=2)
-            handle.write("\n")
+        write_stamped_json(output, report, wall_time_s=total_clock.elapsed_s)
         print(f"wrote {output}")
     return 0
 

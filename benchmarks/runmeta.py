@@ -1,0 +1,81 @@
+"""Run metadata stamped into every benchmark results payload.
+
+Every machine-readable artifact under ``benchmarks/results/`` carries a
+``meta`` block (git SHA, interpreter/numpy versions, hostname, UTC
+timestamp, wall time) so a committed number can always be traced back
+to the tree and environment that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_sha(short: bool = True) -> Optional[str]:
+    """The checked-out commit, or None outside a git tree / without git."""
+    cmd = ["git", "rev-parse"] + (["--short"] if short else []) + ["HEAD"]
+    try:
+        out = subprocess.run(
+            cmd,
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def run_metadata(wall_time_s: Optional[float] = None) -> Dict[str, Any]:
+    """The environment fingerprint for one benchmark invocation."""
+    meta: Dict[str, Any] = {
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "hostname": socket.gethostname(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "argv": list(sys.argv),
+    }
+    if wall_time_s is not None:
+        meta["wall_time_s"] = round(float(wall_time_s), 3)
+    return meta
+
+
+def write_stamped_json(
+    path: str, payload: Dict[str, Any], *, wall_time_s: Optional[float] = None
+) -> None:
+    """Write ``payload`` with a ``meta`` block to ``path`` (pretty JSON)."""
+    stamped = dict(payload)
+    stamped["meta"] = run_metadata(wall_time_s=wall_time_s)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(stamped, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+class WallClock:
+    """Tiny context manager: ``with WallClock() as clock: ...; clock.elapsed_s``."""
+
+    def __enter__(self) -> "WallClock":
+        self._start = time.perf_counter()
+        self.elapsed_s = 0.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_s = time.perf_counter() - self._start

@@ -16,10 +16,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import SimulationError
 from repro.utils.validation import check_fraction, check_positive
+
+#: Observability hook: ``observer(event, payload)`` with ``event`` one of
+#: ``"task_started"`` / ``"burst"`` / ``"task_aborted"``.  Installed by
+#: the owning node when tracing is on (see ``SensorNode.attach_obs``);
+#: ``None`` (the default) costs a single branch per transition.
+NVPObserver = Callable[[str, Dict[str, object]], None]
 
 
 class TaskState(enum.Enum):
@@ -63,6 +69,7 @@ class NonVolatileProcessor:
         self._state = TaskState.IDLE
         self._completed_tasks = 0
         self._aborted_tasks = 0
+        self.observer: Optional[NVPObserver] = None
 
     # ------------------------------------------------------------------
 
@@ -105,6 +112,8 @@ class NonVolatileProcessor:
         self._total_work_j = float(total_work_j)
         self._done_work_j = 0.0
         self._state = TaskState.IN_PROGRESS
+        if self.observer is not None:
+            self.observer("task_started", {"total_work_j": self._total_work_j})
 
     def execute_burst(self, available_j: float) -> BurstOutcome:
         """Run with ``available_j`` of energy; returns what happened.
@@ -129,17 +138,30 @@ class NonVolatileProcessor:
             self._completed_tasks += 1
             self._total_work_j = None
             self._done_work_j = 0.0
-            return BurstOutcome(consumed, progressed, True)
-
-        if self.volatile:
-            # The burst ends in a power failure; everything is lost.
-            self._done_work_j = 0.0
-        return BurstOutcome(consumed, progressed, False)
+            outcome = BurstOutcome(consumed, progressed, True)
+        else:
+            if self.volatile:
+                # The burst ends in a power failure; everything is lost.
+                self._done_work_j = 0.0
+            outcome = BurstOutcome(consumed, progressed, False)
+        if self.observer is not None:
+            self.observer(
+                "burst",
+                {
+                    "consumed_j": outcome.consumed_j,
+                    "progressed_j": outcome.progressed_j,
+                    "completed": outcome.completed,
+                    "progress_fraction": self.progress_fraction,
+                },
+            )
+        return outcome
 
     def abort(self) -> None:
         """Abandon the in-flight task (e.g. its input window expired)."""
         if self._state is TaskState.IN_PROGRESS:
             self._aborted_tasks += 1
+            if self.observer is not None:
+                self.observer("task_aborted", {"done_work_j": self._done_work_j})
         self._total_work_j = None
         self._done_work_j = 0.0
         self._state = TaskState.IDLE

@@ -42,3 +42,8 @@ class SchedulingError(ReproError, RuntimeError):
 class FaultError(ReproError, ValueError):
     """A fault plan is invalid (overlapping windows, unknown node id,
     negative slots, out-of-range probabilities, ...)."""
+
+
+class ObservabilityError(ReproError, ValueError):
+    """A trace/metrics operation was malformed (unregistered event kind,
+    missing payload field, incompatible metric merge, schema drift)."""

@@ -14,6 +14,7 @@ top of :mod:`repro.wsn` without the substrate knowing about plans.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -28,8 +29,11 @@ from repro.faults.models import (
     PayloadCorruption,
 )
 from repro.faults.stats import FaultStats, LinkStats, RecoveryEvent
+from repro.obs.observer import NULL_OBS, Observability
 from repro.utils.rng import spawn_generators
 from repro.wsn.comm import Delivery
+
+logger = logging.getLogger(__name__)
 
 
 class _GilbertElliottState:
@@ -174,6 +178,8 @@ class FaultEngine:
         self._recoveries: List[_PendingRecovery] = []
         self._awaiting: Dict[int, _PendingRecovery] = {}
         self._host_restarts = 0
+        #: Observability surface (assigned by the experiment when on).
+        self.obs: Observability = NULL_OBS
 
     def _links_of(self, node_id: Optional[int]) -> List[int]:
         return self._node_ids if node_id is None else [node_id]
@@ -190,14 +196,23 @@ class FaultEngine:
 
     def begin_slot(self, slot: int, nodes: Mapping[int, object], host) -> None:
         """Apply slot-boundary fault events before scheduling runs."""
+        trace = self.obs.tracer
         if slot in self._restart_slots:
             host.restart()
             self._host_restarts += 1
+            logger.debug("slot %d: host restarted (recall store wiped)", slot)
+            if trace.enabled:
+                trace.emit("fault.fired", slot=slot, fault="host_restart")
         for node_id, node in nodes.items():
             was = self._online[node_id]
             now = self._scheduled_online(node_id, slot)
             if was and not now:
                 node.power_down()
+                logger.debug("slot %d: node %d powered down", slot, node_id)
+                if trace.enabled:
+                    trace.emit(
+                        "fault.fired", slot=slot, node_id=node_id, fault="power_down"
+                    )
                 death = self._deaths.get(node_id)
                 if death is None or slot < death:
                     # Transient outage: find the covering brownout and
@@ -212,6 +227,11 @@ class FaultEngine:
                             break
             elif not was and now:
                 node.power_up()
+                logger.debug("slot %d: node %d powered up", slot, node_id)
+                if trace.enabled:
+                    trace.emit(
+                        "fault.fired", slot=slot, node_id=node_id, fault="power_up"
+                    )
                 for pending in reversed(self._recoveries):
                     if pending.node_id == node_id and pending.recovered_slot is None:
                         self._awaiting[node_id] = pending
@@ -229,6 +249,14 @@ class FaultEngine:
         pending = self._awaiting.pop(node_id, None)
         if pending is not None:
             pending.recovered_slot = slot
+            logger.debug(
+                "slot %d: node %d recovered (outage %d-%d)",
+                slot, node_id, pending.start_slot, pending.end_slot,
+            )
+            if self.obs.tracer.enabled:
+                self.obs.tracer.emit(
+                    "fault.fired", slot=slot, node_id=node_id, fault="recovered"
+                )
 
     # ------------------------------------------------------------------
     # per-node hooks for the substrate
@@ -265,6 +293,18 @@ class FaultEngine:
             )
             for node in nodes
         }
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.inc("faults.host_restarts", self._host_restarts)
+            for node_id in sorted(self._offline_slots):
+                metrics.inc(
+                    f"faults.node.{node_id}.offline_slots",
+                    self._offline_slots[node_id],
+                )
+            for node_id in sorted(per_link):
+                link = per_link[node_id]
+                metrics.inc(f"faults.node.{node_id}.dropped", link.messages_dropped)
+                metrics.inc(f"faults.node.{node_id}.corrupted", link.messages_corrupted)
         return FaultStats(
             per_link=per_link,
             offline_slots=dict(self._offline_slots),

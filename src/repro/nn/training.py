@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -13,6 +14,8 @@ from repro.nn.metrics import accuracy
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Optimizer
 from repro.utils.rng import SeedLike, as_generator
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -133,9 +136,10 @@ class Trainer:
                     if history.val_accuracy
                     else ""
                 )
-                print(
-                    f"epoch {epoch + 1}/{epochs}  loss={history.train_loss[-1]:.4f}"
-                    f"  acc={history.train_accuracy[-1]:.3f}{val_part}"
+                logger.info(
+                    "epoch %d/%d  loss=%.4f  acc=%.3f%s",
+                    epoch + 1, epochs, history.train_loss[-1],
+                    history.train_accuracy[-1], val_part,
                 )
 
         if best_state is not None:

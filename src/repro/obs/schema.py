@@ -1,0 +1,95 @@
+"""Trace schema: event kinds, required payload fields, versioning.
+
+Every trace record is typed — its ``kind`` must be registered here with
+the payload fields it is required to carry — and every trace file opens
+with a header stamped with :data:`TRACE_SCHEMA_VERSION`.  Consumers
+(:mod:`repro.obs.summarize`, external tooling) key on the version, so
+the version may only move together with an entry in
+:data:`SCHEMA_CHANGELOG`; CI runs :func:`check_schema_changelog` to
+enforce that a drift without a changelog entry fails the build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Version of the on-disk trace format.  Bump it whenever an event kind
+#: is added/removed/renamed or a required payload field changes, and add
+#: a matching entry to :data:`SCHEMA_CHANGELOG`.
+TRACE_SCHEMA_VERSION: int = 1
+
+#: ``{version: what changed}`` — the schema's append-only history.
+SCHEMA_CHANGELOG: Dict[int, str] = {
+    1: (
+        "initial schema: run lifecycle (run.started/run.finished), "
+        "slot.scheduled, window.sensed, nvp.task_started/nvp.burst/"
+        "nvp.task_aborted, inference.completed/inference.aborted, "
+        "message.sent/message.dropped, vote.cast, confidence.updated, "
+        "fault.fired"
+    ),
+}
+
+#: ``{kind: required payload field names}``.  An emit with a missing
+#: required field (or an unregistered kind) raises, so traces cannot
+#: silently drift away from the documented schema.
+EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
+    # run lifecycle
+    "run.started": ("policy", "seed", "n_windows", "n_nodes"),
+    "run.finished": ("policy", "completions", "decisions"),
+    # scheduling
+    "slot.scheduled": ("active",),
+    # node-side sensing and compute
+    "window.sensed": (),
+    "nvp.task_started": ("total_work_j",),
+    "nvp.burst": ("consumed_j", "progressed_j", "completed"),
+    "nvp.task_aborted": ("done_work_j",),
+    "inference.completed": ("started_slot", "label", "confidence", "delivered"),
+    "inference.aborted": ("reason",),
+    # radio link
+    "message.sent": ("bytes", "cost_j", "delivered"),
+    "message.dropped": (),
+    # host-side ensemble
+    "vote.cast": ("label", "n_votes"),
+    "confidence.updated": ("label", "confidence"),
+    # fault machinery
+    "fault.fired": ("fault",),
+}
+
+#: Kind of the mandatory first record of a JSONL trace file.
+HEADER_KIND = "trace.header"
+
+
+def validate_event(kind: str, payload: Dict[str, object]) -> None:
+    """Raise :class:`ObservabilityError` unless the event is well-typed."""
+    required = EVENT_KINDS.get(kind)
+    if required is None:
+        raise ObservabilityError(
+            f"unregistered trace event kind {kind!r}; register it in "
+            f"repro.obs.schema.EVENT_KINDS (and bump TRACE_SCHEMA_VERSION)"
+        )
+    missing = [name for name in required if name not in payload]
+    if missing:
+        raise ObservabilityError(
+            f"event {kind!r} is missing required payload fields {missing}"
+        )
+
+
+def check_schema_changelog() -> None:
+    """Fail unless the current schema version has a changelog entry.
+
+    Run by CI (and the test suite) so a schema bump cannot land without
+    documenting what changed.
+    """
+    if TRACE_SCHEMA_VERSION not in SCHEMA_CHANGELOG:
+        raise ObservabilityError(
+            f"TRACE_SCHEMA_VERSION={TRACE_SCHEMA_VERSION} has no entry in "
+            f"SCHEMA_CHANGELOG (have {sorted(SCHEMA_CHANGELOG)}); document "
+            f"the change before shipping the new schema"
+        )
+    if max(SCHEMA_CHANGELOG) != TRACE_SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"SCHEMA_CHANGELOG has entries beyond TRACE_SCHEMA_VERSION="
+            f"{TRACE_SCHEMA_VERSION}: {sorted(SCHEMA_CHANGELOG)}"
+        )

@@ -1,0 +1,258 @@
+"""Render a per-run report from a JSONL trace (+ optional metrics).
+
+Usage::
+
+    python -m repro.obs.summarize trace.jsonl [--metrics metrics.json]
+        [--run N] [--width 100] [--output report.txt]
+
+The report shows, per run in the trace: a per-node slot timeline (who
+was scheduled, who completed, where messages were dropped, where faults
+fired), the host's vote row, the fault ledger, and — when a metrics
+snapshot is given — the top wall-time timers and headline counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, read_trace
+
+#: Timeline glyphs, in increasing display priority: a slot shows the
+#: highest-priority thing that happened to the node in it.
+_GLYPHS = (
+    (".", "idle"),
+    ("a", "active (burst, no completion)"),
+    ("x", "inference aborted"),
+    ("C", "inference completed"),
+    ("d", "result message dropped"),
+    ("!", "fault fired"),
+)
+_PRIORITY = {glyph: rank for rank, (glyph, _) in enumerate(_GLYPHS)}
+
+_EVENT_GLYPH = {
+    "window.sensed": "a",
+    "nvp.burst": "a",
+    "inference.aborted": "x",
+    "inference.completed": "C",
+    "message.dropped": "d",
+    "fault.fired": "!",
+}
+
+
+def split_runs(events: Sequence[TraceEvent]) -> List[List[TraceEvent]]:
+    """Partition a trace into runs at ``run.started`` boundaries.
+
+    Events before the first ``run.started`` (if any) are attached to the
+    first run.
+    """
+    runs: List[List[TraceEvent]] = []
+    current: List[TraceEvent] = []
+    for event in events:
+        if event.kind == "run.started" and current:
+            runs.append(current)
+            current = []
+        current.append(event)
+    if current:
+        runs.append(current)
+    return runs
+
+
+def _run_header(run_events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    for event in run_events:
+        if event.kind == "run.started":
+            return dict(event.payload)
+    return {}
+
+
+def _timeline_rows(
+    run_events: Sequence[TraceEvent], n_slots: int, width: int
+) -> List[str]:
+    """Per-node (plus host-vote) timeline strips, downsampled to width."""
+    node_ids = sorted(
+        {e.node_id for e in run_events if e.node_id is not None}
+    )
+    grid: Dict[int, List[str]] = {nid: ["."] * n_slots for nid in node_ids}
+    votes = [" "] * n_slots
+    for event in run_events:
+        if event.slot is None or not (0 <= event.slot < n_slots):
+            continue
+        if event.kind == "vote.cast":
+            votes[event.slot] = "V"
+            continue
+        glyph = _EVENT_GLYPH.get(event.kind)
+        if glyph is None or event.node_id is None:
+            continue
+        row = grid[event.node_id]
+        if _PRIORITY[glyph] > _PRIORITY[row[event.slot]]:
+            row[event.slot] = glyph
+
+    def compress(cells: List[str]) -> str:
+        if n_slots <= width:
+            return "".join(cells)
+        # Downsample: each output column shows the highest-priority
+        # glyph of its slot bucket.
+        out = []
+        for col in range(width):
+            lo = col * n_slots // width
+            hi = max(lo + 1, (col + 1) * n_slots // width)
+            bucket = cells[lo:hi]
+            out.append(max(bucket, key=lambda c: _PRIORITY.get(c, -1)))
+        return "".join(out)
+
+    rows = [f"  node {nid:<3d} |{compress(grid[nid])}|" for nid in node_ids]
+    if any(cell != " " for cell in votes):
+        rows.append(f"  host     |{compress(votes)}|")
+    return rows
+
+
+def _fault_ledger(run_events: Sequence[TraceEvent]) -> List[str]:
+    lines = []
+    for event in run_events:
+        if event.kind != "fault.fired":
+            continue
+        where = f"node {event.node_id}" if event.node_id is not None else "host"
+        lines.append(
+            f"  slot {event.slot:>5}  {where:<8}  {event.payload.get('fault')}"
+        )
+    return lines
+
+
+def _metrics_section(metrics: MetricsRegistry, top: int = 10) -> List[str]:
+    exported = metrics.to_dict()
+    lines: List[str] = []
+    timers = exported["timers"]
+    if timers:
+        lines.append("top timers (by total wall time):")
+        ranked = sorted(timers.items(), key=lambda kv: -kv[1]["total_s"])[:top]
+        for name, stat in ranked:
+            mean_ms = stat["total_s"] / stat["calls"] * 1e3 if stat["calls"] else 0.0
+            lines.append(
+                f"  {name:<28} {stat['calls']:>8} calls  "
+                f"{stat['total_s']:>9.3f} s total  {mean_ms:>8.3f} ms/call"
+            )
+    counters = exported["counters"]
+    headline = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("sim.", "faults."))
+    }
+    if headline:
+        lines.append("counters:")
+        for name, value in headline.items():
+            rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<28} {rendered}")
+    histograms = exported["histograms"]
+    if histograms:
+        lines.append("histograms:")
+        for name, spec in histograms.items():
+            lines.append(
+                f"  {name:<28} n={spec['count']} mean="
+                f"{(spec['total'] / spec['count']) if spec['count'] else 0.0:.2f} "
+                f"min={spec['min']} max={spec['max']}"
+            )
+    return lines
+
+
+def render_report(
+    header: Dict[str, Any],
+    events: Sequence[TraceEvent],
+    *,
+    metrics: Optional[MetricsRegistry] = None,
+    run_index: Optional[int] = None,
+    width: int = 100,
+) -> str:
+    """The full text report for one trace."""
+    lines = [
+        f"trace report — schema v{header.get('schema_version')}, "
+        f"{len(events)} events"
+    ]
+    meta = header.get("meta") or {}
+    if meta:
+        lines.append("meta: " + json.dumps(meta, sort_keys=True))
+
+    runs = split_runs(list(events))
+    if runs:
+        lines.append("")
+        lines.append(f"runs in trace: {len(runs)}")
+        for index, run_events in enumerate(runs):
+            info = _run_header(run_events)
+            lines.append(
+                f"  #{index}  policy={info.get('policy', '?'):<14} "
+                f"seed={info.get('seed', '?')}  "
+                f"n_windows={info.get('n_windows', '?')}"
+            )
+        selected = range(len(runs)) if run_index is None else [run_index]
+        for index in selected:
+            if not 0 <= index < len(runs):
+                raise IndexError(
+                    f"trace has {len(runs)} run(s); --run {index} is out of range"
+                )
+            run_events = runs[index]
+            info = _run_header(run_events)
+            n_slots = int(info.get("n_windows") or 0)
+            if not n_slots:
+                n_slots = 1 + max(
+                    (e.slot for e in run_events if e.slot is not None), default=0
+                )
+            lines.append("")
+            lines.append(
+                f"run #{index}: {info.get('policy', '?')} "
+                f"(seed {info.get('seed', '?')}, {n_slots} slots)"
+            )
+            lines.extend(_timeline_rows(run_events, n_slots, width))
+            lines.append(
+                "  legend: "
+                + "  ".join(f"{glyph}={label}" for glyph, label in _GLYPHS[1:])
+                + "  V=vote cast"
+            )
+            ledger = _fault_ledger(run_events)
+            if ledger:
+                lines.append("fault ledger:")
+                lines.extend(ledger)
+    else:
+        lines.append("(no events)")
+
+    if metrics is not None:
+        lines.append("")
+        lines.extend(_metrics_section(metrics))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summarize", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("trace", help="JSONL trace written by Tracer.write_jsonl")
+    parser.add_argument(
+        "--metrics", default=None, help="metrics snapshot JSON (Observability.export)"
+    )
+    parser.add_argument(
+        "--run", type=int, default=None, help="render only this run's timeline"
+    )
+    parser.add_argument("--width", type=int, default=100, help="timeline columns")
+    parser.add_argument(
+        "--output", default=None, help="also write the report to this file"
+    )
+    args = parser.parse_args(argv)
+
+    header, events = read_trace(args.trace)
+    metrics = None
+    if args.metrics is not None:
+        with open(args.metrics) as handle:
+            metrics = MetricsRegistry.from_dict(json.load(handle))
+    report = render_report(
+        header, events, metrics=metrics, run_index=args.run, width=args.width
+    )
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

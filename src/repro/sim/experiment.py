@@ -18,6 +18,8 @@ changes.
 
 from __future__ import annotations
 
+import logging
+import time
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
@@ -37,6 +39,7 @@ from repro.energy.storage import Capacitor
 from repro.energy.traces import PowerTraceGenerator
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults.plan import FaultPlan
+from repro.obs.observer import NULL_OBS, Observability
 from repro.sim.predcache import RunMaterial, build_run_material, default_subject
 from repro.sim.results import ExperimentResult, SlotRecord
 from repro.sim.training import TrainedSensorBundle, TrainingConfig
@@ -47,6 +50,8 @@ from repro.wsn.network import BodyAreaNetwork
 from repro.wsn.node import NodeCosts, SensorNode
 
 WindowTransform = Callable[[np.ndarray], np.ndarray]
+
+logger = logging.getLogger(__name__)
 
 #: Calibrated default: uniform RF gain across placements.  The trace
 #: generator already injects per-node variation through independent
@@ -258,6 +263,7 @@ class HARExperiment:
         failures: Optional[Dict[int, int]] = None,
         faults: Optional[FaultPlan] = None,
         material: Optional[RunMaterial] = None,
+        obs: Optional[Observability] = None,
     ) -> ExperimentResult:
         """Simulate ``policy`` and return the full result.
 
@@ -295,6 +301,15 @@ class HARExperiment:
             of a sweep.  ``None`` (the default) builds fresh material
             for this run; either way the run consumes identical arrays,
             so results are byte-identical with and without sharing.
+        obs:
+            An :class:`~repro.obs.Observability` bundle.  When given,
+            the run emits a typed trace (scheduling decisions, NVP
+            bursts, inference completions, message drops, votes, fault
+            firings), accumulates metrics (slots/attempts/completions,
+            joules harvested and spent, recall staleness) and records
+            wall-time profiles of the hot paths.  The default is the
+            zero-overhead :data:`~repro.obs.NULL_OBS`: untraced runs
+            are bit-identical to pre-instrumentation output.
         """
         if failures is not None:
             warnings.warn(
@@ -314,6 +329,13 @@ class HARExperiment:
         factory = SeedSequenceFactory(run_seed)
         spec = self.dataset.spec
         subject = subject or default_subject(self.dataset)
+        obs = obs if obs is not None else NULL_OBS
+        trace = obs.tracer
+        run_clock_start = time.perf_counter() if obs.enabled else 0.0
+        logger.debug(
+            "run start: policy=%s seed=%d n_windows=%d", policy.name, run_seed,
+            config.n_windows,
+        )
 
         # The policy-independent precompute: timeline, styles, windows
         # and (unless the windows will be transformed) batched softmax
@@ -329,6 +351,7 @@ class HARExperiment:
                 use_pruned_models=config.use_pruned_models,
                 subject=subject,
                 with_predictions=window_transform is None,
+                obs=obs,
             )
         else:
             material.check_compatible(
@@ -342,6 +365,9 @@ class HARExperiment:
 
         # Network.
         nodes = self._build_nodes(factory, config)
+        if obs.enabled:
+            for node in nodes:
+                node.attach_obs(obs)
         if confidence_matrix is not None:
             confidence = confidence_matrix
         else:
@@ -360,6 +386,8 @@ class HARExperiment:
                 faults.recall_staleness_half_life_slots if faults is not None else None
             ),
         )
+        if obs.enabled:
+            host.attach_obs(obs)
         network = BodyAreaNetwork(nodes, host)
 
         # Compile the fault plan into this run's engine and install the
@@ -383,6 +411,12 @@ class HARExperiment:
                 for node in nodes:
                     node.comm.delivery_hook = engine.link_hook(node.node_id)
                     node.harvest_gate = engine.harvest_gate(node.node_id)
+                if obs.enabled:
+                    engine.obs = obs
+                logger.debug(
+                    "fault engine compiled: %d fault(s) over %d slots",
+                    len(faults.faults), config.n_windows,
+                )
         scheduler = policy.make_scheduler(network.node_ids(), self.bundle.rank_table)
         scheduler.reset()
 
@@ -392,7 +426,20 @@ class HARExperiment:
         if material.probabilities is not None and window_transform is None:
             for node in nodes:
                 node.prediction_cache = material.probabilities[node.node_id]
+        elif window_transform is not None:
+            logger.debug(
+                "window transform active: falling back to per-slot model "
+                "inference (no batched softmax reuse)"
+            )
 
+        if trace.enabled:
+            trace.emit(
+                "run.started",
+                policy=policy.name,
+                seed=run_seed,
+                n_windows=config.n_windows,
+                n_nodes=len(nodes),
+            )
         result = ExperimentResult(policy_name=policy.name, activities=list(spec.activities))
         last_final: Optional[int] = None
         confidence_updates_before = confidence.updates
@@ -431,6 +478,13 @@ class HARExperiment:
                 for node_id in scheduler.active_nodes(slot, context)
                 if online[node_id]
             ]
+            if trace.enabled:
+                trace.append(
+                    "slot.scheduled",
+                    slot,
+                    None,
+                    {"active": list(active), "anticipated": last_final},
+                )
 
             windows: Dict[int, np.ndarray] = {}
             for node_id in active:
@@ -459,6 +513,16 @@ class HARExperiment:
                     confidence.update(
                         outcome.node_id, outcome.delivered_label, outcome.confidence
                     )
+                    if trace.enabled:
+                        trace.append(
+                            "confidence.updated",
+                            slot,
+                            outcome.node_id,
+                            {
+                                "label": outcome.delivered_label,
+                                "confidence": float(outcome.confidence),
+                            },
+                        )
 
             if policy.uses_recall:
                 final = host.classify(slot)
@@ -494,4 +558,62 @@ class HARExperiment:
         result.confidence_updates = confidence.updates - confidence_updates_before
         if engine is not None:
             result.fault_stats = engine.finalize(nodes)
+        if obs.enabled:
+            self._account_run_metrics(obs, result, nodes, host)
+            if trace.enabled:
+                trace.emit(
+                    "run.finished",
+                    policy=policy.name,
+                    completions=result.total_completions,
+                    decisions=host.decisions_made,
+                )
+            obs.metrics.timer("experiment.run").record(
+                time.perf_counter() - run_clock_start
+            )
+        logger.debug(
+            "run done: policy=%s seed=%d completions=%d/%d", policy.name, run_seed,
+            result.total_completions, result.total_attempts,
+        )
         return result
+
+    @staticmethod
+    def _account_run_metrics(
+        obs: Observability,
+        result: ExperimentResult,
+        nodes: List[SensorNode],
+        host: HostDevice,
+    ) -> None:
+        """Fold one run's counters into the metrics registry.
+
+        Everything here is a pure function of the simulated run, so
+        sequential and parallel sweeps merge to identical values (the
+        determinism contract of :mod:`repro.obs.metrics`).
+        """
+        metrics = obs.metrics
+        attempts = completions = dropped = correct = 0
+        for record in result.records:  # one pass over the run's records
+            attempts += record.attempts
+            completions += record.completions
+            dropped += record.dropped_messages
+            correct += record.predicted_label == record.true_label
+        metrics.inc("sim.runs")
+        metrics.inc("sim.slots", result.n_slots)
+        metrics.inc("sim.attempts", attempts)
+        metrics.inc("sim.completions", completions)
+        metrics.inc("sim.messages_dropped", dropped)
+        metrics.inc("sim.confidence_updates", result.confidence_updates)
+        metrics.inc("sim.decisions", host.decisions_made)
+        metrics.inc("sim.messages_received", host.messages_received)
+        metrics.inc("sim.correct_slots", correct)
+        metrics.inc("sim.comm_energy_j", result.comm_energy_j)
+        for node in nodes:
+            stats = node.stats
+            prefix = f"node.{node.node_id}"
+            metrics.inc(f"{prefix}.slots", stats.slots)
+            metrics.inc(f"{prefix}.active_slots", stats.active_slots)
+            metrics.inc(f"{prefix}.attempts_started", stats.attempts_started)
+            metrics.inc(f"{prefix}.completions", stats.completions)
+            metrics.inc(f"{prefix}.failed_active_slots", stats.failed_active_slots)
+            metrics.inc(f"{prefix}.harvested_j", stats.harvested_j)
+            metrics.inc(f"{prefix}.consumed_j", stats.consumed_j)
+            metrics.inc(f"{prefix}.comm_j", stats.comm_j)

@@ -36,6 +36,7 @@ from repro.datasets.profiles import N_CHANNELS
 from repro.datasets.subjects import SubjectProfile
 from repro.datasets.synthesis import StyleWobble
 from repro.errors import ConfigurationError
+from repro.obs.observer import NULL_OBS, Observability
 from repro.utils.rng import SeedSequenceFactory
 
 #: Default inference batch size for the precompute pass.
@@ -121,6 +122,7 @@ def build_run_material(
     subject: Optional[SubjectProfile] = None,
     with_predictions: bool = True,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    obs: Optional[Observability] = None,
 ) -> RunMaterial:
     """Materialize one seed's timeline, windows and (optionally) softmax.
 
@@ -129,12 +131,14 @@ def build_run_material(
     are consulted.  RNG streams use the same labels as the historical
     in-run draws (``timeline``, ``style``, ``windows/<location>``), so
     the material is a pure function of ``(dataset, bundle, seed,
-    subject, n_windows, dwell_scale)``.
+    subject, n_windows, dwell_scale)``.  ``obs`` records per-phase wall
+    time (``predcache.windows``, ``predcache.predict``).
     """
     if n_windows < 1:
         raise ConfigurationError(f"n_windows must be >= 1, got {n_windows}")
     if batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    obs = obs if obs is not None else NULL_OBS
     factory = SeedSequenceFactory(int(seed))
     spec = dataset.spec
     subject = subject or default_subject(dataset)
@@ -154,25 +158,27 @@ def build_run_material(
 
     synthesizer = dataset.synthesizer
     windows: Dict[int, np.ndarray] = {}
-    for location in spec.locations:
-        node_id = bundle.node_id_of(location)
-        rng = factory.generator(f"windows/{location.value}")
-        stream = np.empty(
-            (n_windows, N_CHANNELS, synthesizer.window_size), dtype=np.float32
-        )
-        for slot, activity in enumerate(labels):
-            stream[slot] = synthesizer.window(
-                activity, location, subject, rng, style=styles[slot]
+    with obs.timed("predcache.windows"):
+        for location in spec.locations:
+            node_id = bundle.node_id_of(location)
+            rng = factory.generator(f"windows/{location.value}")
+            stream = np.empty(
+                (n_windows, N_CHANNELS, synthesizer.window_size), dtype=np.float32
             )
-        windows[node_id] = stream
+            for slot, activity in enumerate(labels):
+                stream[slot] = synthesizer.window(
+                    activity, location, subject, rng, style=styles[slot]
+                )
+            windows[node_id] = stream
 
     probabilities: Optional[Dict[int, np.ndarray]] = None
     if with_predictions:
-        models = bundle.models(pruned=use_pruned_models)
-        probabilities = {
-            node_id: models[node_id].predict_proba(stream, batch_size=batch_size)
-            for node_id, stream in windows.items()
-        }
+        with obs.timed("predcache.predict"):
+            models = bundle.models(pruned=use_pruned_models)
+            probabilities = {
+                node_id: models[node_id].predict_proba(stream, batch_size=batch_size)
+                for node_id, stream in windows.items()
+            }
 
     return RunMaterial(
         seed=int(seed),
@@ -203,13 +209,24 @@ class PredictionCache:
         bundle and config define the material.
     batch_size:
         Batch size of the prediction precompute.
+    obs:
+        Observability bundle; records build timers and exposes the
+        hit/miss accounting as ``predcache.hits`` / ``predcache.misses``
+        gauges.
     """
 
-    def __init__(self, experiment, *, batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+    def __init__(
+        self,
+        experiment,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        obs: Optional[Observability] = None,
+    ) -> None:
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         self.experiment = experiment
         self.batch_size = int(batch_size)
+        self.obs = obs if obs is not None else NULL_OBS
         self._materials: Dict[tuple, RunMaterial] = {}
         self.hits = 0
         self.misses = 0
@@ -238,20 +255,27 @@ class PredictionCache:
         cached = self._materials.get(key)
         if cached is not None:
             self.hits += 1
+            if self.obs.enabled:
+                self.obs.metrics.set_gauge("predcache.hits", self.hits)
             return cached
         self.misses += 1
-        material = build_run_material(
-            self.experiment.dataset,
-            self.experiment.bundle,
-            seed,
-            n_windows=config.n_windows,
-            dwell_scale=config.dwell_scale,
-            use_pruned_models=config.use_pruned_models,
-            subject=subject,
-            with_predictions=with_predictions,
-            batch_size=self.batch_size,
-        )
+        with self.obs.timed("predcache.build_material"):
+            material = build_run_material(
+                self.experiment.dataset,
+                self.experiment.bundle,
+                seed,
+                n_windows=config.n_windows,
+                dwell_scale=config.dwell_scale,
+                use_pruned_models=config.use_pruned_models,
+                subject=subject,
+                with_predictions=with_predictions,
+                batch_size=self.batch_size,
+                obs=self.obs,
+            )
         self._materials[key] = material
+        if self.obs.enabled:
+            self.obs.metrics.set_gauge("predcache.misses", self.misses)
+            self.obs.metrics.set_gauge("predcache.materials", len(self._materials))
         return material
 
     def clear(self) -> None:

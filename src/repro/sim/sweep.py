@@ -17,10 +17,11 @@ benchmark smoke).
 
 from __future__ import annotations
 
+import logging
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,11 +38,16 @@ from repro.core.policies import (
 from repro.datasets.activities import Activity
 from repro.errors import ConfigurationError
 from repro.faults.stats import FaultStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import NULL_OBS, Observability
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 from repro.sim.baselines import BaselineResult, evaluate_baseline
 from repro.sim.experiment import HARExperiment
 from repro.sim.predcache import PredictionCache
 from repro.sim.results import ExperimentResult
 from repro.wsn.node import NodeStats
+
+logger = logging.getLogger(__name__)
 
 
 def paper_policy_grid(rr_lengths: Sequence[int] = (3, 6, 9, 12)) -> List[PolicySpec]:
@@ -159,6 +165,7 @@ class PolicySweep:
         *,
         seed: Optional[int] = None,
         workers: int = 1,
+        obs: Optional[Observability] = None,
     ) -> SweepResult:
         """Run the grid; multi-seed runs are merged slot-wise.
 
@@ -167,27 +174,39 @@ class PolicySweep:
         Results are merged in policy-grid order either way, so the
         returned :class:`SweepResult` is identical for any worker
         count.
+
+        ``obs`` instruments the sweep.  Sequentially the bundle is
+        threaded straight into every run; with ``workers > 1`` each
+        work unit records into a fresh registry in its process and the
+        parent folds the per-unit snapshots back in deterministic unit
+        order, so counters and histograms merge to exactly the
+        sequential values (see
+        :meth:`repro.obs.MetricsRegistry.deterministic_dict`).  Unit
+        traces are re-sequenced into the parent tracer in the same
+        order.
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         policies = list(policies) if policies is not None else paper_policy_grid()
         base_seed = self.experiment.seed if seed is None else int(seed)
+        obs = obs if obs is not None else NULL_OBS
         result = SweepResult(activities=list(self.experiment.dataset.spec.activities))
 
-        if workers == 1 or not policies:
-            runs_by_policy = self._run_sequential(policies, base_seed)
-        else:
-            runs_by_policy = self._run_parallel(policies, base_seed, workers)
-        for spec in policies:
-            result.policies[spec.name] = _merge_runs(runs_by_policy[spec.name])
+        with obs.timed("sweep.run"):
+            if workers == 1 or not policies:
+                runs_by_policy = self._run_sequential(policies, base_seed, obs)
+            else:
+                runs_by_policy = self._run_parallel(policies, base_seed, workers, obs)
+            for spec in policies:
+                result.policies[spec.name] = _merge_runs(runs_by_policy[spec.name])
 
-        if self.include_baselines:
-            for baseline in (Baseline1, Baseline2):
-                runs = [
-                    self._run_baseline(baseline, base_seed + offset)
-                    for offset in range(self.n_seeds)
-                ]
-                result.baselines[baseline.name] = _merge_baselines(runs)
+            if self.include_baselines:
+                for baseline in (Baseline1, Baseline2):
+                    runs = [
+                        self._run_baseline(baseline, base_seed + offset)
+                        for offset in range(self.n_seeds)
+                    ]
+                    result.baselines[baseline.name] = _merge_baselines(runs)
         return result
 
     # ------------------------------------------------------------------
@@ -195,11 +214,13 @@ class PolicySweep:
     # ------------------------------------------------------------------
 
     def _run_sequential(
-        self, policies: Sequence[PolicySpec], base_seed: int
+        self, policies: Sequence[PolicySpec], base_seed: int, obs: Observability
     ) -> Dict[str, List[ExperimentResult]]:
         """Seed-major loop: one material build serves every policy."""
         cache = (
-            PredictionCache(self.experiment) if self.use_prediction_cache else None
+            PredictionCache(self.experiment, obs=obs)
+            if self.use_prediction_cache
+            else None
         )
         runs: Dict[str, List[ExperimentResult]] = {spec.name: [] for spec in policies}
         for offset in range(self.n_seeds):
@@ -207,12 +228,16 @@ class PolicySweep:
             material = cache.material(run_seed) if cache is not None else None
             for spec in policies:
                 runs[spec.name].append(
-                    self.experiment.run(spec, seed=run_seed, material=material)
+                    self.experiment.run(spec, seed=run_seed, material=material, obs=obs)
                 )
         return runs
 
     def _run_parallel(
-        self, policies: Sequence[PolicySpec], base_seed: int, workers: int
+        self,
+        policies: Sequence[PolicySpec],
+        base_seed: int,
+        workers: int,
+        obs: Observability,
     ) -> Dict[str, List[ExperimentResult]]:
         """Fan (policy, seed) units out over a process pool.
 
@@ -220,7 +245,8 @@ class PolicySweep:
         workers than seeds each unit is a whole seed (one material
         build per unit); with more workers each seed's policy list is
         split so every worker stays busy.  Unit order — and therefore
-        result order — is deterministic.
+        result order, metrics-merge order and trace order — is
+        deterministic.
         """
         chunks = min(
             max(1, math.ceil(workers / self.n_seeds)), len(policies)
@@ -229,7 +255,13 @@ class PolicySweep:
         for offset in range(self.n_seeds):
             for indices in _split_indices(len(policies), chunks):
                 units.append((offset, indices))
+        logger.debug(
+            "parallel sweep: %d unit(s) over %d worker(s), %d policies x %d seeds",
+            len(units), workers, len(policies), self.n_seeds,
+        )
 
+        with_obs = obs.enabled
+        with_trace = with_obs and obs.tracer.enabled
         runs: Dict[str, List[ExperimentResult]] = {
             spec.name: [None] * self.n_seeds for spec in policies
         }
@@ -243,12 +275,22 @@ class PolicySweep:
                     _run_sweep_unit,
                     [policies[index] for index in indices],
                     base_seed + offset,
+                    with_obs,
+                    with_trace,
                 )
                 for offset, indices in units
             ]
             for (offset, indices), future in zip(units, futures):
-                for index, run in zip(indices, future.result()):
+                unit_runs, unit_metrics, unit_events = future.result()
+                for index, run in zip(indices, unit_runs):
                     runs[policies[index].name][offset] = run
+                # Fold worker observability back in submission order —
+                # the order is deterministic, so the merged registry is
+                # identical for any worker count.
+                if unit_metrics is not None:
+                    obs.metrics.merge(MetricsRegistry.from_dict(unit_metrics))
+                if unit_events is not None:
+                    obs.tracer.extend(unit_events)
         return runs
 
     def _run_baseline(self, baseline: BaselineSpec, seed: int) -> BaselineResult:
@@ -277,14 +319,35 @@ def _init_sweep_worker(experiment: HARExperiment, use_prediction_cache: bool) ->
     _WORKER_CACHE = PredictionCache(experiment) if use_prediction_cache else None
 
 
-def _run_sweep_unit(specs: List[PolicySpec], seed: int) -> List[ExperimentResult]:
-    """Run one seed's chunk of policies inside a worker process."""
+def _run_sweep_unit(
+    specs: List[PolicySpec],
+    seed: int,
+    with_obs: bool = False,
+    with_trace: bool = False,
+) -> Tuple[List[ExperimentResult], Optional[Dict[str, Any]], Optional[List[TraceEvent]]]:
+    """Run one seed's chunk of policies inside a worker process.
+
+    Returns the runs plus (when requested) this unit's metrics snapshot
+    and trace events, which the parent folds back in unit order.
+    """
     if _WORKER_EXPERIMENT is None:
         raise ConfigurationError("sweep worker used before initialization")
+    if with_obs:
+        obs = Observability(tracer=Tracer() if with_trace else NULL_TRACER)
+    else:
+        obs = NULL_OBS
     material = _WORKER_CACHE.material(seed) if _WORKER_CACHE is not None else None
-    return [
-        _WORKER_EXPERIMENT.run(spec, seed=seed, material=material) for spec in specs
+    runs = [
+        _WORKER_EXPERIMENT.run(spec, seed=seed, material=material, obs=obs)
+        for spec in specs
     ]
+    if not with_obs:
+        return runs, None, None
+    return (
+        runs,
+        obs.metrics.to_dict(),
+        obs.tracer.events if with_trace else None,
+    )
 
 
 def _split_indices(count: int, chunks: int) -> List[List[int]]:

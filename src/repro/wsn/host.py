@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.observer import NULL_OBS, Observability
 from repro.wsn.node import InferenceOutcome
 
 
@@ -80,11 +81,21 @@ class HostDevice:
         self.vote = vote
         self.max_recall_age_slots = max_recall_age_slots
         self.staleness_half_life_slots = staleness_half_life_slots
+        #: Observability surface (installed via :meth:`attach_obs`).
+        self.obs: Observability = NULL_OBS
+        self._recall_hist = None
         self._memory: Dict[int, ReceivedVote] = {}
         self._last_heard: Dict[int, int] = {}
         self._messages_received = 0
         self._decisions = 0
         self._restarts = 0
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Install an observability bundle (resolves the hot histogram once)."""
+        self.obs = obs
+        self._recall_hist = (
+            obs.metrics.histogram("host.recall_age_slots") if obs.enabled else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -180,11 +191,35 @@ class HostDevice:
                 vote for vote in votes if vote.age(current_slot) <= self.max_recall_age_slots
             ]
         votes = self._staleness_weighted(votes, current_slot)
+        obs = self.obs
+        ages = None
+        if self._recall_hist is not None:
+            # Recall staleness: the age of every vote that participates
+            # in this slot's ensemble (the paper's stale-recall risk).
+            observe = self._recall_hist.observe
+            ages = [vote.age(current_slot) for vote in votes]
+            for age in ages:
+                observe(age)
         if not votes:
             return None
         label = self.vote(votes, current_slot)
         if label is not None:
             self._decisions += 1
+        if obs.tracer.enabled and label is not None:
+            obs.tracer.append(
+                "vote.cast",
+                current_slot,
+                None,
+                {
+                    "label": label,
+                    "n_votes": len(votes),
+                    "max_age": (
+                        max(ages)
+                        if ages
+                        else max(vote.age(current_slot) for vote in votes)
+                    ),
+                },
+            )
         return label
 
     def restart(self) -> None:

@@ -27,9 +27,18 @@ from repro.energy.nvp import NonVolatileProcessor, TaskState
 from repro.energy.storage import Capacitor
 from repro.errors import SimulationError
 from repro.nn.model import Sequential
+from repro.obs.observer import NULL_OBS, Observability
 from repro.utils.stats import confidence_from_softmax
 from repro.utils.validation import check_non_negative, check_positive
 from repro.wsn.comm import CommLink
+
+#: NVP observer event -> trace kind (precomputed: the observer fires on
+#: every burst, so no string formatting on the hot path).
+_NVP_TRACE_KINDS = {
+    "task_started": "nvp.task_started",
+    "burst": "nvp.burst",
+    "task_aborted": "nvp.task_aborted",
+}
 
 
 @dataclass(frozen=True)
@@ -173,9 +182,43 @@ class SensorNode:
         #: completed inference reads row ``started_slot`` instead of
         #: running a batch-of-1 forward pass.
         self.prediction_cache: Optional[np.ndarray] = None
+        #: Observability surface: a disabled bundle by default; the
+        #: experiment swaps in its own via :meth:`attach_obs`.
+        self.obs: Observability = NULL_OBS
         self._pending_window: Optional[np.ndarray] = None
         self._pending_slot: Optional[int] = None
         self._slot_energies: Optional[np.ndarray] = None
+        self._current_slot = 0
+        self._slot_scope = None
+        self._span_hist = None
+
+    def attach_obs(self, obs: Observability) -> None:
+        """Install an observability bundle (and the NVP's trace hook).
+
+        The per-slot timer scope and the completion-span histogram are
+        resolved once here so the per-slot path touches no registry.
+        """
+        self.obs = obs
+        if obs.enabled:
+            self._slot_scope = obs.timed("nvp.active_slot")
+            self._span_hist = obs.metrics.histogram("nvp.slots_per_inference")
+        else:
+            self._slot_scope = None
+            self._span_hist = None
+        if obs.enabled and obs.tracer.enabled:
+            tracer = obs.tracer
+
+            def nvp_observer(event: str, payload: dict) -> None:
+                tracer.append(
+                    _NVP_TRACE_KINDS[event],
+                    self._current_slot,
+                    self.node_id,
+                    payload,
+                )
+
+            self.nvp.observer = nvp_observer
+        else:
+            self.nvp.observer = None
 
     # ------------------------------------------------------------------
     # per-slot lifecycle
@@ -210,6 +253,17 @@ class SensorNode:
         Returns the slot's outcome; ``completed=False`` means the node
         made partial progress (NVP) or lost its progress (volatile).
         """
+        if self._slot_scope is None:
+            return self._active_slot(slot_index, window)
+        # The ROADMAP hot path: per-slot wall time lands in the
+        # "nvp.active_slot" timer when observability is on.
+        with self._slot_scope:
+            return self._active_slot(slot_index, window)
+
+    def _active_slot(self, slot_index: int, window: np.ndarray) -> InferenceOutcome:
+        obs = self.obs
+        trace = obs.tracer
+        self._current_slot = slot_index
         self.harvest(slot_index)
         self.stats.active_slots += 1
 
@@ -223,6 +277,10 @@ class SensorNode:
             self.nvp.abort()
             self._pending_window = None
             self._pending_slot = None
+            if trace.enabled:
+                trace.append(
+                    "inference.aborted", slot_index, self.node_id, {"reason": "stale"}
+                )
 
         if self.nvp.state is TaskState.IDLE:
             # Fresh inference: sense the current window first.
@@ -236,6 +294,8 @@ class SensorNode:
                 )
             self._pending_window = np.asarray(window)
             self._pending_slot = slot_index
+            if trace.enabled:
+                trace.append("window.sensed", slot_index, self.node_id, {})
             self.nvp.start_task(self.inference_energy_j)
             self.stats.attempts_started += 1
 
@@ -252,6 +312,13 @@ class SensorNode:
                 self.nvp.abort()
                 self._pending_window = None
                 self._pending_slot = None
+                if trace.enabled:
+                    trace.append(
+                        "inference.aborted",
+                        slot_index,
+                        self.node_id,
+                        {"reason": "volatile"},
+                    )
             return InferenceOutcome(
                 self.node_id, self.location, slot_index, started,
                 False, energy_consumed_j=burst.consumed_j,
@@ -272,12 +339,44 @@ class SensorNode:
         self.stats.completions += 1
 
         predicted = int(probabilities.argmax())
+        confidence = confidence_from_softmax(probabilities)
         sent = self.comm.transmit(
             self.costs.result_message_bytes, slot_index, predicted
         )
         paid = self.capacitor.draw(min(sent.cost_j, self.capacitor.stored_j))
         self.stats.comm_j += paid
         self.stats.consumed_j += paid
+
+        if obs.enabled:
+            # Completed-inference span: how many slots the NVP needed
+            # from sensing to completion (recall staleness's source).
+            span = slot_index - started_slot + 1 if started_slot is not None else 1
+            self._span_hist.observe(span)
+            if trace.enabled:
+                trace.append(
+                    "inference.completed",
+                    slot_index,
+                    self.node_id,
+                    {
+                        "started_slot": started_slot,
+                        "label": predicted,
+                        "confidence": float(confidence),
+                        "delivered": sent.delivery.delivered,
+                    },
+                )
+                trace.append(
+                    "message.sent",
+                    slot_index,
+                    self.node_id,
+                    {
+                        "bytes": self.costs.result_message_bytes,
+                        "cost_j": sent.cost_j,
+                        "delivered": sent.delivery.delivered,
+                        "corrupted": sent.delivery.corrupted,
+                    },
+                )
+                if not sent.delivery.delivered:
+                    trace.append("message.dropped", slot_index, self.node_id, {})
 
         return InferenceOutcome(
             node_id=self.node_id,
@@ -287,7 +386,7 @@ class SensorNode:
             completed=True,
             predicted_label=predicted,
             probabilities=probabilities,
-            confidence=confidence_from_softmax(probabilities),
+            confidence=confidence,
             energy_consumed_j=burst.consumed_j + paid,
             delivered=sent.delivery.delivered,
             reported_label=(

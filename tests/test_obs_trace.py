@@ -1,0 +1,181 @@
+"""Unit tests for repro.obs tracing: schema, tracer, JSONL round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.observer import NULL_OBS, Observability
+from repro.obs.schema import (
+    EVENT_KINDS,
+    SCHEMA_CHANGELOG,
+    TRACE_SCHEMA_VERSION,
+    check_schema_changelog,
+    validate_event,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    read_trace,
+    write_trace,
+)
+
+
+class TestSchema:
+    def test_current_version_has_changelog_entry(self):
+        check_schema_changelog()
+        assert TRACE_SCHEMA_VERSION in SCHEMA_CHANGELOG
+
+    def test_every_kind_validates_with_required_fields(self):
+        for kind, fields in EVENT_KINDS.items():
+            validate_event(kind, {name: 0 for name in fields})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError):
+            validate_event("no.such.kind", {})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ObservabilityError):
+            validate_event("inference.aborted", {})
+
+
+class TestTracer:
+    def test_emit_assigns_sequential_seq(self):
+        tracer = Tracer()
+        tracer.emit("window.sensed", slot=1, node_id=0)
+        tracer.emit("message.dropped", slot=2, node_id=1)
+        events = tracer.events
+        assert [event.seq for event in events] == [0, 1]
+        assert events[0].kind == "window.sensed"
+        assert events[1].node_id == 1
+
+    def test_emit_validates_when_asked(self):
+        tracer = Tracer(validate=True)
+        with pytest.raises(ObservabilityError):
+            tracer.emit("inference.aborted", slot=1, node_id=0)  # missing reason
+
+    def test_append_fast_path_matches_emit(self):
+        a, b = Tracer(), Tracer()
+        a.emit("inference.aborted", slot=3, node_id=1, reason="stale")
+        b.append("inference.aborted", 3, 1, {"reason": "stale"})
+        assert a.events == b.events
+
+    def test_extend_resequences(self):
+        source = Tracer()
+        source.emit("window.sensed", slot=1, node_id=0)
+        sink = Tracer()
+        sink.emit("window.sensed", slot=0, node_id=2)
+        sink.extend(source.events)
+        assert [event.seq for event in sink.events] == [0, 1]
+        assert sink.events[1].node_id == 0
+
+    def test_of_kind_and_len_and_clear(self):
+        tracer = Tracer()
+        tracer.emit("window.sensed", slot=1, node_id=0)
+        tracer.emit("message.dropped", slot=1, node_id=0)
+        assert len(tracer) == 2
+        assert len(tracer.of_kind("window.sensed")) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_null_tracer_is_disabled_noop(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("anything.goes", bogus=1)
+        NULL_TRACER.append("anything.goes", 0, 0, {})
+        NULL_TRACER.extend([TraceEvent(0, "window.sensed", 1, 0, {})])
+        assert NULL_TRACER.events == []
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        tracer = Tracer()
+        tracer.emit("window.sensed", slot=4, node_id=2)
+        tracer.emit(
+            "inference.completed",
+            slot=5,
+            node_id=2,
+            started_slot=4,
+            label=3,
+            confidence=0.7,
+            delivered=True,
+        )
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path), meta={"note": "test"})
+        header, events = read_trace(str(path))
+        assert header["schema_version"] == TRACE_SCHEMA_VERSION
+        assert header["meta"] == {"note": "test"}
+        assert events == tracer.events
+
+    def test_write_validates_malformed_events(self, tmp_path):
+        tracer = Tracer()  # per-emit validation off by default ...
+        tracer.emit("inference.aborted", slot=1, node_id=0)  # missing reason
+        with pytest.raises(ObservabilityError):
+            # ... but the serialization boundary still rejects it.
+            tracer.write_jsonl(str(tmp_path / "bad.jsonl"))
+
+    def test_read_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "not.a.header"}\n')
+        with pytest.raises(ObservabilityError):
+            read_trace(str(path))
+
+    def test_read_rejects_unknown_schema_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace.header", "schema_version": 999, "meta": {}})
+            + "\n"
+        )
+        with pytest.raises(ObservabilityError):
+            read_trace(str(path))
+
+    def test_write_trace_function(self, tmp_path):
+        events = [TraceEvent(0, "window.sensed", 1, 0, {})]
+        path = tmp_path / "t.jsonl"
+        write_trace(str(path), events)
+        header, back = read_trace(str(path))
+        assert back == events
+
+
+class TestObservability:
+    def test_default_bundle_is_enabled(self):
+        obs = Observability()
+        assert obs.enabled and obs.tracer.enabled
+
+    def test_null_obs_timed_is_reusable_noop(self):
+        scope_a = NULL_OBS.timed("a")
+        scope_b = NULL_OBS.timed("b")
+        assert scope_a is scope_b  # shared singleton scope
+        with scope_a:
+            pass
+        assert NULL_OBS.metrics.to_dict()["timers"] == {}
+
+    def test_timed_records_wall_time(self):
+        obs = Observability()
+        with obs.timed("x"):
+            pass
+        timer = obs.metrics.timer("x")
+        assert timer.calls == 1
+        assert timer.total_s >= 0.0
+
+    def test_timed_scope_is_cached_per_name(self):
+        obs = Observability()
+        assert obs.timed("x") is obs.timed("x")
+        assert obs.timed("x") is not obs.timed("y")
+
+    def test_export_writes_both_files(self, tmp_path):
+        obs = Observability()
+        obs.tracer.emit("window.sensed", slot=0, node_id=0)
+        obs.metrics.inc("c")
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.json"
+        obs.export(str(trace_path), str(metrics_path), meta={"k": 1})
+        header, events = read_trace(str(trace_path))
+        assert len(events) == 1
+        with open(metrics_path) as handle:
+            snapshot = json.load(handle)
+        assert snapshot["counters"] == {"c": 1}
