@@ -21,6 +21,12 @@ enabled :class:`repro.obs.Observability` (tracer + metrics) and reports
 the tracing overhead as a percentage of the untraced wall time — the
 budget is <10%, enforced in ``--smoke`` mode.
 
+``--cold-start`` benchmarks the trained-bundle artifact store instead:
+``standard_mhealth`` built in a fresh interpreter against an empty
+store (trains + publishes) vs a warm store (rehydrates from disk), each
+build its own subprocess.  The warm build must be at least 5x faster;
+results go to ``benchmarks/results/BENCH_store.json``.
+
 Run with ``PYTHONPATH=src python benchmarks/bench_perf_sweep.py``.
 Deliberately a standalone script, not a pytest bench: it measures
 wall-clock ratios and must control its own repetition and output.
@@ -31,7 +37,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import sys
+import tempfile
 
 from repro.obs.observer import Observability
 from repro.sim.experiment import HARExperiment, SimulationConfig
@@ -43,9 +51,36 @@ except ImportError:  # invoked as a script: sibling import
     from runmeta import WallClock, write_stamped_json
 
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "results", "BENCH_sweep.json")
+STORE_OUTPUT = os.path.join(os.path.dirname(__file__), "results", "BENCH_store.json")
 
 #: Acceptable tracing overhead (fraction of untraced wall time).
 OVERHEAD_BUDGET = 0.10
+
+#: Minimum warm-store speedup over a cold (training) build; the artifact
+#: store's contract is "rehydration is much cheaper than retraining".
+STORE_SPEEDUP_FLOOR = 5.0
+
+#: Timed inside a *fresh interpreter* so a warm build pays the honest
+#: process-start price: imports, dataset synthesis, checkpoint reads.
+_COLD_START_SNIPPET = """\
+import json, sys, time
+from repro.obs.observer import Observability
+from repro.sim.experiment import HARExperiment
+
+obs = Observability()
+start = time.perf_counter()
+HARExperiment.standard_mhealth(seed=7, obs=obs)
+elapsed = time.perf_counter() - start
+counters = obs.metrics.to_dict()["counters"]
+json.dump(
+    {
+        "seconds": elapsed,
+        "hits": counters.get("store.hit", 0),
+        "misses": counters.get("store.miss", 0),
+    },
+    sys.stdout,
+)
+"""
 
 
 def parse_args(argv=None):
@@ -66,7 +101,92 @@ def parse_args(argv=None):
         help=f"JSON destination (default {DEFAULT_OUTPUT}; never written in --smoke "
         "mode unless given explicitly)",
     )
+    parser.add_argument(
+        "--cold-start",
+        action="store_true",
+        help="benchmark the artifact store instead: standard_mhealth in a fresh "
+        f"process, empty vs warm store (JSON default {STORE_OUTPUT})",
+    )
+    parser.add_argument(
+        "--warm-reps", type=int, default=3, help="warm-store builds to min over"
+    )
     return parser.parse_args(argv)
+
+
+def _fresh_process_build(store_dir: str) -> dict:
+    """Time ``standard_mhealth`` in a brand-new interpreter."""
+    env = dict(os.environ)
+    env["REPRO_STORE_DIR"] = store_dir
+    env.pop("REPRO_STORE", None)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src, env.get("PYTHONPATH")) if part
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _COLD_START_SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def run_cold_start(args) -> int:
+    """Empty-store vs warm-store build time for ``standard_mhealth``."""
+    with tempfile.TemporaryDirectory(prefix="repro-store-bench-") as store_dir:
+        with WallClock() as total_clock:
+            print("cold build (empty store, trains + publishes) ...", flush=True)
+            cold = _fresh_process_build(store_dir)
+            print(f"cold  : {cold['seconds']:8.2f} s  (misses={cold['misses']:g})", flush=True)
+            if cold["misses"] != 1 or cold["hits"] != 0:
+                print("FAIL: cold build did not miss the empty store exactly once")
+                return 1
+            warm_runs = []
+            for index in range(max(1, args.warm_reps)):
+                warm = _fresh_process_build(store_dir)
+                warm_runs.append(warm["seconds"])
+                print(
+                    f"warm {index}: {warm['seconds']:8.2f} s  (hits={warm['hits']:g})",
+                    flush=True,
+                )
+                if warm["hits"] != 1 or warm["misses"] != 0:
+                    print("FAIL: warm build did not hit the store exactly once")
+                    return 1
+        warm_best = min(warm_runs)
+        speedup = cold["seconds"] / warm_best
+        print(f"warm-store speedup: {speedup:.1f}x (floor {STORE_SPEEDUP_FLOOR:.0f}x)")
+        if speedup < STORE_SPEEDUP_FLOOR:
+            print("FAIL: warm store is not meaningfully faster than retraining")
+            return 1
+
+        report = {
+            "bench": "trained_bundle_store_cold_start",
+            "config": {
+                "dataset": "mhealth-like",
+                "experiment": "standard_mhealth(seed=7)",
+                "warm_reps": len(warm_runs),
+                "fresh_process_per_build": True,
+                "cpu_count": os.cpu_count(),
+                "smoke": args.smoke,
+            },
+            "timings_s": {
+                "cold_empty_store": round(cold["seconds"], 3),
+                "warm_store_best": round(warm_best, 3),
+                "warm_store_all": [round(value, 3) for value in warm_runs],
+            },
+            "speedup": {
+                "warm_vs_cold": round(speedup, 2),
+                "floor": STORE_SPEEDUP_FLOOR,
+            },
+        }
+        output = args.output
+        if output is None and not args.smoke:
+            output = STORE_OUTPUT
+        if output:
+            write_stamped_json(output, report, wall_time_s=total_clock.elapsed_s)
+            print(f"wrote {output}")
+    return 0
 
 
 def results_identical(a, b):
@@ -99,6 +219,8 @@ def timed_sweep(experiment, policies, *, n_seeds, seed, cache, workers, obs=None
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.cold_start:
+        return run_cold_start(args)
     policies = paper_policy_grid()
     if args.smoke:
         n_windows, n_seeds = 40, 2

@@ -31,6 +31,10 @@ The package is organized bottom-up:
     graceful-degradation accounting.
 ``repro.sim``
     End-to-end experiment harnesses reproducing every figure and table.
+``repro.store``
+    Content-addressed artifact store: trained bundles are published on
+    first build and rehydrated byte-identically in later processes
+    (``python -m repro.store`` manages the cache).
 
 Quickstart::
 

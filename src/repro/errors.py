@@ -47,3 +47,10 @@ class FaultError(ReproError, ValueError):
 class ObservabilityError(ReproError, ValueError):
     """A trace/metrics operation was malformed (unregistered event kind,
     missing payload field, incompatible metric merge, schema drift)."""
+
+
+class StoreError(ReproError, RuntimeError):
+    """An artifact-store operation failed (unwritable root, lock timeout,
+    malformed manifest, key/schema mismatch, ...).  Integrity failures on
+    read are *not* raised — a corrupt entry is evicted and treated as a
+    miss so callers rebuild instead of crashing."""

@@ -86,8 +86,15 @@ def _layer_seed(layer: Layer) -> int:
     return zlib.crc32(layer.name.encode("utf-8"))
 
 
-def _fresh_layer(layer: Layer, weights: dict) -> Layer:
-    """A new, unbuilt layer matching ``layer`` but sized from ``weights``."""
+def fresh_layer_from_weights(layer: Layer, weights: dict) -> Layer:
+    """A new, unbuilt layer matching ``layer`` but sized from ``weights``.
+
+    Conv/Dense widths come from the weight shapes; everything else
+    (type, name, kernel size, pool size, dropout rate) is copied from
+    ``layer``.  Used by the pruner's model surgery and by
+    :mod:`repro.store.bundles` to rebuild a pruned checkpoint on top of
+    the unpruned architecture template.
+    """
     if isinstance(layer, Conv1D):
         filters = weights["W"].shape[0]
         return Conv1D(filters, layer.kernel_size, seed=_layer_seed(layer), name=layer.name)
@@ -124,7 +131,7 @@ def _collect_weights(model: Sequential) -> List[dict]:
 def _rebuild(model: Sequential, weights: List[dict]) -> Sequential:
     """A new Sequential with ``weights``' shapes, parameters assigned."""
     layers = [
-        _fresh_layer(layer, layer_weights)
+        fresh_layer_from_weights(layer, layer_weights)
         for layer, layer_weights in zip(model.layers, weights)
     ]
     rebuilt = Sequential(layers, name=model.name)

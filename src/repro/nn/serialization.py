@@ -29,7 +29,11 @@ def load_model_weights(model: Sequential, path: str) -> Sequential:
     """Load weights saved by :func:`save_model_weights` into ``model``.
 
     The model must already be built with the matching architecture;
-    returns the model for chaining.
+    returns the model for chaining.  The archive's keys are validated
+    against the built model's ``state_dict`` before any array is
+    assigned, so an architecture/checkpoint mismatch fails with a
+    :class:`~repro.errors.ModelError` naming the missing and unexpected
+    keys instead of a partial load.
     """
     if not model.built:
         raise ModelError("build the model before loading weights")
@@ -37,5 +41,16 @@ def load_model_weights(model: Sequential, path: str) -> Sequential:
         raise ModelError(f"checkpoint not found: {path}")
     with np.load(path) as archive:
         state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    expected = set(model.state_dict())
+    found = set(state)
+    if expected != found:
+        missing = sorted(expected - found)
+        unexpected = sorted(found - expected)
+        parts = [f"checkpoint {path} does not match model {model.name!r}:"]
+        if missing:
+            parts.append(f"missing keys {missing}")
+        if unexpected:
+            parts.append(f"unexpected keys {unexpected}")
+        raise ModelError(" ".join(parts))
     model.load_state_dict(state)
     return model

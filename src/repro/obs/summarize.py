@@ -121,9 +121,31 @@ def _fault_ledger(run_events: Sequence[TraceEvent]) -> List[str]:
     return lines
 
 
+def _store_line(exported: Dict[str, Any]) -> Optional[str]:
+    """One-line artifact-store summary, or ``None`` if no store traffic."""
+    counters = exported["counters"]
+    hits = int(counters.get("store.hit", 0))
+    misses = int(counters.get("store.miss", 0))
+    if not hits and not misses:
+        return None
+    parts = [f"artifact store: {hits} hit(s), {misses} miss(es)"]
+    rebuilds = int(counters.get("store.rebuild", 0))
+    if rebuilds:
+        parts.append(f"{rebuilds} corrupt rebuild(s)")
+    timers = exported["timers"]
+    for timer_name, label in (("store.load", "load"), ("store.build", "build")):
+        stat = timers.get(timer_name)
+        if stat and stat["calls"]:
+            parts.append(f"{label} {stat['total_s']:.2f} s")
+    return ", ".join(parts)
+
+
 def _metrics_section(metrics: MetricsRegistry, top: int = 10) -> List[str]:
     exported = metrics.to_dict()
     lines: List[str] = []
+    store = _store_line(exported)
+    if store is not None:
+        lines.append(store)
     timers = exported["timers"]
     if timers:
         lines.append("top timers (by total wall time):")
@@ -138,7 +160,7 @@ def _metrics_section(metrics: MetricsRegistry, top: int = 10) -> List[str]:
     headline = {
         name: value
         for name, value in counters.items()
-        if name.startswith(("sim.", "faults."))
+        if name.startswith(("sim.", "faults.", "store."))
     }
     if headline:
         lines.append("counters:")

@@ -162,11 +162,22 @@ class HARExperiment:
         *,
         config: SimulationConfig = SimulationConfig(),
         training: TrainingConfig = TrainingConfig(),
+        store=None,
+        obs: Optional[Observability] = None,
     ) -> "HARExperiment":
-        """Train-and-build the full MHEALTH setup (takes ~10 s)."""
+        """Train-and-build the full MHEALTH setup.
+
+        The first build for a given ``(seed, training)`` trains the six
+        CNNs (~10 s) and publishes them to the trained-bundle artifact
+        store; later processes rehydrate from disk in a fraction of the
+        time with byte-identical results.  ``store`` follows the
+        :func:`repro.store.resolve_store` convention (``None`` =
+        environment default, ``False`` = always retrain); ``obs``
+        accumulates the store hit/miss/build metrics.
+        """
         from repro.datasets.mhealth import make_mhealth
 
-        return cls._standard(make_mhealth(seed=seed), seed, config, training)
+        return cls._standard(make_mhealth(seed=seed), seed, config, training, store, obs)
 
     @classmethod
     def standard_pamap2(
@@ -175,21 +186,28 @@ class HARExperiment:
         *,
         config: SimulationConfig = SimulationConfig(),
         training: TrainingConfig = TrainingConfig(),
+        store=None,
+        obs: Optional[Observability] = None,
     ) -> "HARExperiment":
-        """Train-and-build the full PAMAP2 setup."""
+        """Train-and-build the full PAMAP2 setup (store-backed, see
+        :meth:`standard_mhealth`)."""
         from repro.datasets.pamap2 import make_pamap2
 
-        return cls._standard(make_pamap2(seed=seed), seed, config, training)
+        return cls._standard(make_pamap2(seed=seed), seed, config, training, store, obs)
 
     @classmethod
-    def _standard(cls, dataset, seed, config, training) -> "HARExperiment":
+    def _standard(
+        cls, dataset, seed, config, training, store=None, obs=None
+    ) -> "HARExperiment":
         generator = PowerTraceGenerator()
         budget = (
             generator.expected_average_power_w()
             * dataset.spec.window_duration_s
             * config.trace_scale
         )
-        bundle = TrainedSensorBundle.train(dataset, budget, seed=seed, config=training)
+        bundle = TrainedSensorBundle.train_or_load(
+            dataset, budget, seed=seed, config=training, store=store, obs=obs
+        )
         return cls(
             dataset, bundle, trace_generator=generator, config=config, seed=seed
         )

@@ -17,6 +17,7 @@ benchmark smoke).
 
 from __future__ import annotations
 
+import copy
 import logging
 import math
 from concurrent.futures import ProcessPoolExecutor
@@ -45,6 +46,7 @@ from repro.sim.baselines import BaselineResult, evaluate_baseline
 from repro.sim.experiment import HARExperiment
 from repro.sim.predcache import PredictionCache
 from repro.sim.results import ExperimentResult
+from repro.sim.training import TrainedSensorBundle, TrainingConfig
 from repro.wsn.node import NodeStats
 
 logger = logging.getLogger(__name__)
@@ -142,6 +144,18 @@ class PolicySweep:
         across every policy (default).  ``False`` rebuilds the material
         per run — byte-identical results, just slower; kept as the
         benchmark baseline and as a bisection tool.
+    worker_rehydrate:
+        How ``run(workers=N)`` ships the trained bundle to worker
+        processes.  ``None`` (default, auto): when the experiment's
+        bundle carries an artifact-store key and the store holds the
+        entry, workers receive only the key and rehydrate the bundle
+        from disk instead of unpickling the ~8 MB of model weights;
+        otherwise the full experiment is pickled exactly as before.
+        ``True``/``False`` force the respective path (forcing ``True``
+        without a store key falls back to pickling).  A worker whose
+        rehydration fails (entry GC'd mid-sweep) retrains
+        deterministically from the bundle's recorded recipe, so results
+        are byte-identical on every path.
     """
 
     def __init__(
@@ -151,6 +165,7 @@ class PolicySweep:
         n_seeds: int = 1,
         include_baselines: bool = True,
         use_prediction_cache: bool = True,
+        worker_rehydrate: Optional[bool] = None,
     ) -> None:
         if n_seeds < 1:
             raise ConfigurationError(f"n_seeds must be >= 1, got {n_seeds}")
@@ -158,6 +173,7 @@ class PolicySweep:
         self.n_seeds = int(n_seeds)
         self.include_baselines = bool(include_baselines)
         self.use_prediction_cache = bool(use_prediction_cache)
+        self.worker_rehydrate = worker_rehydrate
 
     def run(
         self,
@@ -268,7 +284,7 @@ class PolicySweep:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_sweep_worker,
-            initargs=(self.experiment, self.use_prediction_cache),
+            initargs=self._worker_initargs(),
         ) as pool:
             futures = [
                 pool.submit(
@@ -293,6 +309,35 @@ class PolicySweep:
                     obs.tracer.extend(unit_events)
         return runs
 
+    def _worker_initargs(self) -> Tuple[Any, ...]:
+        """What each pool worker is initialized with.
+
+        Preferred: a bundle-less experiment stub plus the store key —
+        workers rehydrate the trained bundle from the artifact store,
+        so the pickled payload shrinks to the dataset + config.  The
+        full-experiment pickle remains the fallback whenever the bundle
+        has no store provenance, the store is disabled, or the entry is
+        gone.
+        """
+        bundle = self.experiment.bundle
+        store_key = getattr(bundle, "store_key", None)
+        rehydrate = self.worker_rehydrate
+        if rehydrate is None or rehydrate:
+            available = store_key is not None and _store_has_entry(store_key)
+            rehydrate = available if rehydrate is None else (rehydrate and available)
+        if not rehydrate:
+            return (self.experiment, self.use_prediction_cache, None, None)
+        stub = copy.copy(self.experiment)
+        stub.bundle = None
+        recipe = _BundleRecipe(
+            budget_j=bundle.budget_j,
+            seed=bundle.train_seed,
+            config=bundle.train_config,
+            cost_model=bundle.cost_model,
+        )
+        logger.debug("parallel sweep workers rehydrate bundle from key %s", store_key)
+        return (stub, self.use_prediction_cache, store_key, recipe)
+
     def _run_baseline(self, baseline: BaselineSpec, seed: int) -> BaselineResult:
         return evaluate_baseline(
             self.experiment.dataset,
@@ -312,9 +357,77 @@ _WORKER_EXPERIMENT: Optional[HARExperiment] = None
 _WORKER_CACHE: Optional[PredictionCache] = None
 
 
-def _init_sweep_worker(experiment: HARExperiment, use_prediction_cache: bool) -> None:
-    """Install the (pickled-once) experiment in this worker process."""
+@dataclass(frozen=True)
+class _BundleRecipe:
+    """Enough provenance to retrain a bundle deterministically.
+
+    Shipped to workers alongside the store key so a rehydration miss
+    (the entry was GC'd between submit and worker start) degrades to an
+    identical retrain instead of a failed sweep.
+    """
+
+    budget_j: float
+    seed: Optional[int]
+    config: Optional[TrainingConfig]
+    cost_model: Any
+
+
+def _store_has_entry(key: str) -> bool:
+    """Whether the default artifact store currently holds ``key``."""
+    from repro.store.core import default_store
+
+    store = default_store()
+    return store.enabled and store.contains(key)
+
+
+def _worker_bundle(
+    experiment: HARExperiment, store_key: str, recipe: Optional[_BundleRecipe]
+) -> TrainedSensorBundle:
+    """Rehydrate the trained bundle in a worker, retraining on a miss."""
+    from repro.store.bundles import load_trained_bundle
+    from repro.store.core import default_store
+
+    store = default_store()
+    if store.enabled:
+        # Deliberately unobserved: worker-side store traffic must not
+        # perturb the workers=N == workers=1 metrics-merge contract.
+        bundle = load_trained_bundle(store, store_key, experiment.dataset)
+        if bundle is not None:
+            return bundle
+    if recipe is None or recipe.seed is None or recipe.config is None:
+        raise ConfigurationError(
+            f"store entry {store_key} vanished and no training recipe was "
+            "recorded; cannot rehydrate the sweep worker"
+        )
+    logger.warning(
+        "store entry %s unavailable in worker; retraining deterministically",
+        store_key,
+    )
+    return TrainedSensorBundle.train(
+        experiment.dataset,
+        recipe.budget_j,
+        seed=recipe.seed,
+        config=recipe.config,
+        cost_model=recipe.cost_model,
+    )
+
+
+def _init_sweep_worker(
+    experiment: HARExperiment,
+    use_prediction_cache: bool,
+    store_key: Optional[str] = None,
+    recipe: Optional[_BundleRecipe] = None,
+) -> None:
+    """Install the (pickled-once) experiment in this worker process.
+
+    With a ``store_key`` the experiment arrives bundle-less and the
+    trained bundle is rehydrated from the artifact store (or retrained
+    from ``recipe`` if the entry vanished) before the prediction cache
+    is built.
+    """
     global _WORKER_EXPERIMENT, _WORKER_CACHE
+    if store_key is not None:
+        experiment.bundle = _worker_bundle(experiment, store_key, recipe)
     _WORKER_EXPERIMENT = experiment
     _WORKER_CACHE = PredictionCache(experiment) if use_prediction_cache else None
 

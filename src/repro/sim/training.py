@@ -93,6 +93,14 @@ class TrainedSensorBundle:
         self.confidence_matrix = confidence_matrix
         self.cost_model = cost_model
         self.budget_j = budget_j
+        #: Artifact-store provenance: the content-addressed key this
+        #: bundle was loaded from / published under (``None`` when the
+        #: store never saw it), and the training recipe retained so
+        #: sweep workers that cannot rehydrate can fall back to a
+        #: deterministic retrain.  See :mod:`repro.store.bundles`.
+        self.store_key: Optional[str] = None
+        self.train_seed: Optional[int] = None
+        self.train_config: Optional[TrainingConfig] = None
 
     # ------------------------------------------------------------------
 
@@ -180,7 +188,47 @@ class TrainedSensorBundle:
             },
             adaptation_alpha=config.adaptation_alpha,
         )
-        return cls(dataset, by_location, rank_table, confidence, cost_model, budget_j)
+        bundle = cls(dataset, by_location, rank_table, confidence, cost_model, budget_j)
+        bundle.train_seed = int(seed)
+        bundle.train_config = config
+        return bundle
+
+    @classmethod
+    def train_or_load(
+        cls,
+        dataset: HARDataset,
+        budget_j: float,
+        *,
+        seed: int = 0,
+        config: TrainingConfig = TrainingConfig(),
+        cost_model: EnergyCostModel = EnergyCostModel(),
+        store=None,
+        obs=None,
+    ) -> "TrainedSensorBundle":
+        """:meth:`train`, consulting the artifact store first.
+
+        ``store`` follows the :func:`repro.store.resolve_store`
+        convention: ``None`` uses the environment-configured default
+        store (``REPRO_STORE_DIR`` root, ``REPRO_STORE=off`` kill
+        switch), ``False`` bypasses the store entirely, and an explicit
+        :class:`~repro.store.ArtifactStore` is used as given.  A store
+        hit rehydrates the exact trained bundle from disk
+        (byte-identical downstream results); a miss trains and
+        publishes.  ``obs`` accumulates ``store.hit``/``store.miss``/
+        ``store.rebuild`` counters plus ``store.load``/``store.build``
+        timers.
+        """
+        from repro.store.bundles import load_or_train_bundle
+
+        return load_or_train_bundle(
+            dataset,
+            budget_j,
+            seed=seed,
+            config=config,
+            cost_model=cost_model,
+            store=store,
+            obs=obs,
+        )
 
     @staticmethod
     def _build_rank_table(

@@ -1,0 +1,171 @@
+"""Manage the trained-bundle artifact store from the command line.
+
+Usage::
+
+    python -m repro.store ls
+    python -m repro.store info <key>
+    python -m repro.store verify [<key>]
+    python -m repro.store gc [--max-bytes N] [--max-age-days D] [--dry-run]
+
+All commands honor ``REPRO_STORE_DIR`` (or take ``--store-dir``); they
+operate on whatever is on disk even when ``REPRO_STORE=off`` disables
+the store for simulation runs, so CI can verify a cache it is not
+currently reading.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.store.core import ArtifactStore, default_store_root
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _human_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def cmd_ls(store: ArtifactStore) -> int:
+    statuses = [store.status(key) for key in store.keys()]
+    if not statuses:
+        print(f"(empty store at {store.root})")
+        return 0
+    print(f"{'key':<34} {'kind':<16} {'size':>10} {'age':>7} {'idle':>7}  state")
+    for status in statuses:
+        state = "ok" if status.ok else "CORRUPT"
+        print(
+            f"{status.key:<34} {status.kind:<16} "
+            f"{_human_bytes(status.size_bytes):>10} {_human_age(status.age_s):>7} "
+            f"{_human_age(status.idle_s):>7}  {state}"
+        )
+    total = sum(status.size_bytes for status in statuses)
+    print(f"{len(statuses)} entr{'y' if len(statuses) == 1 else 'ies'}, {_human_bytes(total)} total")
+    return 0
+
+
+def cmd_info(store: ArtifactStore, key: str) -> int:
+    entry = store.get(key)
+    if entry is None:
+        print(f"no healthy entry {key} in {store.root}", file=sys.stderr)
+        return 1
+    manifest = dict(entry.manifest)
+    print(json.dumps(manifest, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_verify(store: ArtifactStore, key: Optional[str]) -> int:
+    statuses = [store.status(key)] if key else store.verify()
+    if not statuses:
+        print(f"(empty store at {store.root}) — nothing to verify")
+        return 0
+    bad = 0
+    for status in statuses:
+        if status.ok:
+            print(f"ok       {status.key}")
+        else:
+            bad += 1
+            print(f"CORRUPT  {status.key}: {'; '.join(status.problems)}")
+    print(f"{len(statuses) - bad}/{len(statuses)} entries healthy")
+    return 1 if bad else 0
+
+
+def cmd_gc(
+    store: ArtifactStore,
+    *,
+    max_bytes: Optional[int],
+    max_age_days: Optional[float],
+    dry_run: bool,
+) -> int:
+    max_age_s = max_age_days * 86400.0 if max_age_days is not None else None
+    if dry_run:
+        # Report what gc would do without deleting: corrupt + expired +
+        # LRU overflow, mirroring ArtifactStore.gc's selection.
+        statuses = [store.status(key) for key in store.keys()]
+        would = [s.key for s in statuses if not s.ok]
+        would += [
+            s.key
+            for s in statuses
+            if s.ok and max_age_s is not None and s.age_s > max_age_s
+        ]
+        if max_bytes is not None:
+            keep = [s for s in statuses if s.ok and s.key not in would]
+            keep.sort(key=lambda s: (-s.idle_s, s.key))
+            total = sum(s.size_bytes for s in keep)
+            while keep and total > max_bytes:
+                victim = keep.pop(0)
+                total -= victim.size_bytes
+                would.append(victim.key)
+        print(f"dry run: would remove {len(would)} entr{'y' if len(would) == 1 else 'ies'}")
+        for key in would:
+            print(f"  {key}")
+        return 0
+    report = store.gc(max_bytes=max_bytes, max_age_s=max_age_s)
+    print(
+        f"removed {report['n_removed']} entr"
+        f"{'y' if report['n_removed'] == 1 else 'ies'} "
+        f"({_human_bytes(report['reclaimed_bytes'])} reclaimed); "
+        f"{report['remaining_entries']} remain "
+        f"({_human_bytes(report['remaining_bytes'])})"
+    )
+    for reason, keys in report["removed"].items():
+        for key in keys:
+            print(f"  {reason:<8} {key}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help=f"store root (default: $REPRO_STORE_DIR or {default_store_root()})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("ls", help="list entries with size/age/health")
+    info = commands.add_parser("info", help="dump one entry's manifest")
+    info.add_argument("key")
+    verify = commands.add_parser("verify", help="recheck checksums (exit 1 on corruption)")
+    verify.add_argument("key", nargs="?", default=None)
+    gc = commands.add_parser("gc", help="expire by age, then trim to a size budget")
+    gc.add_argument("--max-bytes", type=int, default=None, help="size budget in bytes")
+    gc.add_argument("--max-age-days", type=float, default=None, help="expiry age in days")
+    gc.add_argument("--dry-run", action="store_true", help="report, do not delete")
+    args = parser.parse_args(argv)
+
+    root = args.store_dir if args.store_dir is not None else default_store_root()
+    store = ArtifactStore(root, enabled=True)  # CLI always sees the disk
+
+    if args.command == "ls":
+        return cmd_ls(store)
+    if args.command == "info":
+        return cmd_info(store, args.key)
+    if args.command == "verify":
+        return cmd_verify(store, args.key)
+    return cmd_gc(
+        store,
+        max_bytes=args.max_bytes,
+        max_age_days=args.max_age_days,
+        dry_run=args.dry_run,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

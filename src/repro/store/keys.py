@@ -1,0 +1,118 @@
+"""Content-addressed key derivation for trained-bundle artifacts.
+
+A store key is the SHA-256 of a canonical JSON document describing every
+input that determines the trained bundle bit-for-bit:
+
+* the dataset: spec fields plus content digests of the train/val arrays
+  per body location (the splits training actually consumes — two
+  datasets built with different factory kwargs hash differently even
+  when their specs agree),
+* the training seed, :class:`~repro.sim.training.TrainingConfig` and
+  :class:`~repro.nn.energy_model.EnergyCostModel`,
+* the pruning budget,
+* the per-location architecture hyperparameters (so editing
+  ``repro.nn.architectures`` invalidates old entries), and
+* :data:`STORE_SCHEMA_VERSION`, which is bumped whenever the on-disk
+  layout or the serialization format changes.
+
+Floats are embedded via ``float.hex()`` so the key is exact, not
+subject to decimal formatting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.datasets.base import HARDataset
+from repro.nn.architectures import har_architecture_for
+from repro.nn.energy_model import EnergyCostModel
+from repro.sim.training import TrainingConfig
+
+#: Bump on any incompatible change to the key derivation, the manifest
+#: layout or the checkpoint format.  Old entries simply stop matching
+#: (and age out via ``gc``) — there is no in-place migration.
+STORE_SCHEMA_VERSION = 1
+
+#: Length of the hex digest used as the entry directory name.  128 bits
+#: of SHA-256 — collision-free for any realistic store population while
+#: keeping paths readable.
+KEY_HEX_CHARS = 32
+
+
+def _canonical(value: Any) -> Any:
+    """Make ``value`` JSON-stable: floats to hex, tuples to lists."""
+    if isinstance(value, float):
+        return float(value).hex()
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def digest_array(array: np.ndarray) -> str:
+    """SHA-256 of an array's dtype, shape and raw bytes."""
+    hasher = hashlib.sha256()
+    array = np.ascontiguousarray(array)
+    hasher.update(str(array.dtype).encode("ascii"))
+    hasher.update(str(array.shape).encode("ascii"))
+    hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def dataset_fingerprint(dataset: HARDataset) -> Dict[str, Any]:
+    """Everything about ``dataset`` that the trained bundle depends on."""
+    spec = dataset.spec
+    splits: Dict[str, Any] = {}
+    for split_name, split in (("train", dataset.train), ("val", dataset.val)):
+        splits[split_name] = {
+            location.value: {
+                "X": digest_array(split[location].X),
+                "y": digest_array(split[location].y),
+            }
+            for location in spec.locations
+        }
+    return {
+        "name": spec.name,
+        "activities": [activity.value for activity in spec.activities],
+        "locations": [location.value for location in spec.locations],
+        "sample_rate_hz": spec.sample_rate_hz,
+        "window_size": spec.window_size,
+        "splits": splits,
+    }
+
+
+def architecture_fingerprint(dataset: HARDataset) -> Dict[str, Any]:
+    """Per-location CNN hyperparameters, keyed by location value."""
+    return {
+        location.value: asdict(har_architecture_for(location))
+        for location in dataset.spec.locations
+    }
+
+
+def trained_bundle_key(
+    dataset: HARDataset,
+    budget_j: float,
+    *,
+    seed: int,
+    config: TrainingConfig,
+    cost_model: EnergyCostModel,
+) -> str:
+    """The store key for one ``TrainedSensorBundle.train(...)`` call."""
+    document = {
+        "kind": "trained-bundle",
+        "schema_version": STORE_SCHEMA_VERSION,
+        "dataset": dataset_fingerprint(dataset),
+        "architectures": architecture_fingerprint(dataset),
+        "seed": int(seed),
+        "budget_j": budget_j,
+        "training": asdict(config),
+        "cost_model": asdict(cost_model),
+    }
+    payload = json.dumps(_canonical(document), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:KEY_HEX_CHARS]

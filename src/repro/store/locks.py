@@ -1,0 +1,136 @@
+"""Cross-process file locking for the artifact store.
+
+One :class:`FileLock` guards one store entry (or the store-wide GC
+scan).  The primary implementation is ``fcntl.flock`` — advisory, but
+released automatically by the kernel when the holding process dies, so a
+crashed sweep worker can never wedge the store.  On platforms without
+``fcntl`` (Windows) an ``O_EXCL`` lockfile loop is used instead, with a
+stale-lock age breaker since nothing reaps those on process death.
+
+Locks are held only around metadata transitions (rename-into-place,
+eviction, GC deletion); payload writes happen in a private temp
+directory first, so the critical sections are microseconds long.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from typing import Optional
+
+from repro.errors import StoreError
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on Windows
+    fcntl = None
+
+logger = logging.getLogger(__name__)
+
+#: An O_EXCL lockfile older than this is assumed to belong to a dead
+#: process and is broken (the fcntl path never needs this).
+STALE_LOCK_S = 300.0
+
+
+class FileLock:
+    """Blocking-with-timeout exclusive lock on ``path``.
+
+    Use as a context manager::
+
+        with FileLock(os.path.join(locks_dir, key + ".lock")):
+            ...rename/delete the entry...
+
+    Re-entry from the same process is a programming error and raises
+    :class:`~repro.errors.StoreError` (the store never self-nests).
+    """
+
+    def __init__(self, path: str, *, timeout_s: float = 60.0, poll_s: float = 0.02) -> None:
+        self.path = path
+        self.timeout_s = float(timeout_s)
+        self.poll_s = float(poll_s)
+        self._fd: Optional[int] = None
+        self._exclusive_created = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._fd is not None or self._exclusive_created
+
+    def acquire(self) -> None:
+        """Take the lock, waiting up to ``timeout_s``."""
+        if self.held:
+            raise StoreError(f"lock {self.path} acquired twice by the same holder")
+        os.makedirs(os.path.dirname(os.path.abspath(self.path)), exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    return
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(fd)
+                        raise StoreError(
+                            f"timed out after {self.timeout_s:.0f}s waiting for "
+                            f"lock {self.path}"
+                        ) from None
+                    time.sleep(self.poll_s)
+        else:  # pragma: no cover - Windows fallback
+            while True:
+                try:
+                    fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    os.write(fd, str(os.getpid()).encode("ascii"))
+                    os.close(fd)
+                    self._exclusive_created = True
+                    return
+                except FileExistsError:
+                    self._break_stale()
+                    if time.monotonic() >= deadline:
+                        raise StoreError(
+                            f"timed out after {self.timeout_s:.0f}s waiting for "
+                            f"lock {self.path}"
+                        ) from None
+                    time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        """Drop the lock (no-op when not held)."""
+        if self._fd is not None:
+            fd, self._fd = self._fd, None
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+            # The lockfile itself is left in place: removing it would
+            # race a waiter that already opened it.
+        elif self._exclusive_created:  # pragma: no cover - Windows fallback
+            self._exclusive_created = False
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def _break_stale(self) -> None:  # pragma: no cover - Windows fallback
+        try:
+            age = time.time() - os.path.getmtime(self.path)
+        except OSError:
+            return
+        if age > STALE_LOCK_S:
+            logger.warning("breaking stale lock %s (age %.0fs)", self.path, age)
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

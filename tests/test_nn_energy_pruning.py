@@ -80,6 +80,16 @@ class TestSerialization:
         with pytest.raises(ModelError):
             load_model_weights(cnn, "/nonexistent/checkpoint.npz")
 
+    def test_mismatched_checkpoint_names_keys(self, cnn, tmp_path):
+        path = str(tmp_path / "dense.npz")
+        other = Sequential([Flatten(), Dense(4, seed=0)], name="dense-only")
+        other.build((6, 64))
+        save_model_weights(other, path)
+        with pytest.raises(ModelError, match="missing keys"):
+            load_model_weights(cnn, path)
+        with pytest.raises(ModelError, match="unexpected keys"):
+            load_model_weights(cnn, path)
+
     def test_unbuilt_model_rejected(self, tmp_path):
         model = Sequential([Dense(3, seed=0)])
         with pytest.raises(ModelError):

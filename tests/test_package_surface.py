@@ -15,6 +15,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.faults",
     "repro.sim",
+    "repro.store",
     "repro.reporting",
     "repro.utils",
     "repro.errors",

@@ -1,0 +1,276 @@
+"""Tests for trained-bundle (de)hydration and the simulation wiring.
+
+The expensive guarantees live here: a store hit reproduces a fresh
+training run byte for byte, corruption degrades to a rebuild, and the
+parallel sweep's worker rehydration matches the sequential sweep
+exactly.  Training is kept cheap with a one-epoch recipe on a
+module-scoped micro dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.policies import origin_policy, rr_policy
+from repro.datasets.mhealth import make_mhealth
+from repro.errors import ConfigurationError
+from repro.obs.observer import Observability
+from repro.sim.experiment import HARExperiment, SimulationConfig
+from repro.sim.sweep import PolicySweep, _BundleRecipe, _worker_bundle
+from repro.sim.training import TrainedSensorBundle, TrainingConfig
+from repro.store import (
+    ENV_STORE_DIR,
+    ENV_STORE_SWITCH,
+    ArtifactStore,
+    load_or_train_bundle,
+    load_trained_bundle,
+    resolve_store,
+    save_trained_bundle,
+    trained_bundle_key,
+)
+from repro.store.core import MANIFEST_NAME
+
+#: One-epoch recipe: fast enough to train several times in this module.
+FAST = TrainingConfig(
+    epochs=1,
+    batch_size=32,
+    early_stopping_patience=1,
+    finetune_epochs=1,
+    final_finetune_epochs=1,
+    finetune_every=8,
+)
+BUDGET_J = 160e-6
+
+
+@pytest.fixture(scope="module")
+def micro_dataset():
+    return make_mhealth(
+        seed=11,
+        train_windows_per_activity=6,
+        val_windows_per_activity=4,
+        test_windows_per_activity=4,
+        n_train_subjects=2,
+        n_eval_subjects=1,
+    )
+
+
+@pytest.fixture
+def store_env(tmp_path, monkeypatch):
+    """Point the default store at a private root for this test."""
+    root = str(tmp_path / "store")
+    monkeypatch.setenv(ENV_STORE_DIR, root)
+    monkeypatch.delenv(ENV_STORE_SWITCH, raising=False)
+    return root
+
+
+def _states_equal(a: TrainedSensorBundle, b: TrainedSensorBundle) -> None:
+    assert a.budget_j == b.budget_j
+    assert a.cost_model == b.cost_model
+    for location in a.dataset.spec.locations:
+        ea, eb = a.by_location[location], b.by_location[location]
+        assert ea.node_id == eb.node_id
+        for key, array in ea.model.state_dict().items():
+            assert np.array_equal(array, eb.model.state_dict()[key])
+        for key, array in ea.pruned_model.state_dict().items():
+            assert np.array_equal(array, eb.pruned_model.state_dict()[key])
+        assert ea.inference_energy_j == eb.inference_energy_j
+        assert ea.pruned_inference_energy_j == eb.pruned_inference_energy_j
+        assert ea.val_accuracy == eb.val_accuracy
+        assert ea.pruned_val_accuracy == eb.pruned_val_accuracy
+        assert np.array_equal(ea.val_per_class, eb.val_per_class)
+        assert np.array_equal(ea.pruned_val_per_class, eb.pruned_val_per_class)
+    for label in range(a.dataset.spec.n_classes):
+        assert a.rank_table.ranked_nodes(label) == b.rank_table.ranked_nodes(label)
+    assert np.array_equal(
+        a.confidence_matrix.as_array(), b.confidence_matrix.as_array()
+    )
+    assert a.confidence_matrix.adaptation_alpha == b.confidence_matrix.adaptation_alpha
+
+
+def _run_signature(experiment: HARExperiment, policy, seed=3):
+    result = experiment.run(policy, seed=seed)
+    return (
+        [
+            (r.true_label, r.predicted_label, r.active_nodes, r.completions)
+            for r in result.records
+        ],
+        result.comm_energy_j,
+        result.confidence_updates,
+    )
+
+
+class TestRoundTrip:
+    def test_saved_bundle_rehydrates_byte_identical(
+        self, tiny_dataset, tiny_bundle, tmp_path
+    ):
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = trained_bundle_key(
+            tiny_dataset,
+            tiny_bundle.budget_j,
+            seed=tiny_bundle.train_seed,
+            config=tiny_bundle.train_config,
+            cost_model=tiny_bundle.cost_model,
+        )
+        save_trained_bundle(store, key, tiny_bundle)
+        loaded = load_trained_bundle(store, key, tiny_dataset)
+        assert loaded is not None
+        assert loaded.store_key == key
+        assert loaded.train_seed == tiny_bundle.train_seed
+        assert loaded.train_config == tiny_bundle.train_config
+        _states_equal(tiny_bundle, loaded)
+        # Downstream simulation results are byte-identical too.
+        config = SimulationConfig(n_windows=40)
+        fresh = HARExperiment(tiny_dataset, tiny_bundle, config=config, seed=3)
+        hydrated = HARExperiment(tiny_dataset, loaded, config=config, seed=3)
+        for policy in (rr_policy(3), origin_policy(3)):
+            assert _run_signature(fresh, policy) == _run_signature(hydrated, policy)
+
+    def test_wrong_dataset_payload_is_evicted(
+        self, tiny_dataset, tiny_bundle, tmp_path
+    ):
+        store = ArtifactStore(str(tmp_path / "store"))
+        key = "c" * 32
+        save_trained_bundle(store, key, tiny_bundle)
+        manifest_path = os.path.join(store.entry_path(key), MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["payload"]["dataset"] = "SOMETHING-ELSE"
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        # Checksums still pass (payload files untouched) but the
+        # semantic unpack fails → miss + eviction.
+        assert load_trained_bundle(store, key, tiny_dataset) is None
+        assert not store.contains(key)
+
+
+class TestLoadOrTrain:
+    def test_miss_hit_and_corrupt_rebuild(self, micro_dataset, store_env):
+        obs = Observability()
+        first = load_or_train_bundle(
+            micro_dataset, BUDGET_J, seed=5, config=FAST, obs=obs
+        )
+        counters = obs.metrics.to_dict()["counters"]
+        assert counters["store.miss"] == 1
+        assert counters["store.put"] == 1
+        assert "store.hit" not in counters
+        assert first.store_key is not None
+        assert "store.build" in obs.metrics.to_dict()["timers"]
+
+        obs_hit = Observability()
+        again = load_or_train_bundle(
+            micro_dataset, BUDGET_J, seed=5, config=FAST, obs=obs_hit
+        )
+        counters = obs_hit.metrics.to_dict()["counters"]
+        assert counters["store.hit"] == 1
+        assert "store.miss" not in counters
+        assert "store.load" in obs_hit.metrics.to_dict()["timers"]
+        _states_equal(first, again)
+
+        # Corrupt one checkpoint: next load is a miss that rebuilds.
+        store = ArtifactStore(store_env)
+        entry = store.get(first.store_key)
+        victim = entry.file_path(sorted(entry.manifest["files"])[0])
+        with open(victim, "r+b") as handle:
+            handle.write(b"\x00" * 64)
+        obs_rebuild = Observability()
+        rebuilt = load_or_train_bundle(
+            micro_dataset, BUDGET_J, seed=5, config=FAST, obs=obs_rebuild
+        )
+        counters = obs_rebuild.metrics.to_dict()["counters"]
+        assert counters["store.corrupt"] == 1
+        assert counters["store.miss"] == 1
+        assert counters["store.rebuild"] == 1
+        _states_equal(first, rebuilt)
+        assert store.status(first.store_key).ok  # republished healthy
+
+    def test_disabled_store_bypasses_disk(self, micro_dataset, store_env, monkeypatch):
+        monkeypatch.setenv(ENV_STORE_SWITCH, "off")
+        assert resolve_store(None) is None
+        bundle = load_or_train_bundle(micro_dataset, BUDGET_J, seed=5, config=FAST)
+        assert bundle.store_key is None
+        assert not os.path.isdir(store_env)
+
+    def test_store_false_bypasses_even_when_enabled(self):
+        assert resolve_store(False) is None
+
+
+class TestSweepRehydration:
+    @pytest.fixture
+    def stored_experiment(self, tiny_dataset, tiny_bundle, store_env):
+        """An experiment whose bundle carries a live store key."""
+        store = ArtifactStore(store_env)
+        key = trained_bundle_key(
+            tiny_dataset,
+            tiny_bundle.budget_j,
+            seed=tiny_bundle.train_seed,
+            config=tiny_bundle.train_config,
+            cost_model=tiny_bundle.cost_model,
+        )
+        save_trained_bundle(store, key, tiny_bundle)
+        bundle = load_trained_bundle(store, key, tiny_dataset)
+        return HARExperiment(
+            tiny_dataset, bundle, config=SimulationConfig(n_windows=30), seed=3
+        )
+
+    def test_initargs_prefer_rehydration(self, stored_experiment, monkeypatch):
+        sweep = PolicySweep(stored_experiment, n_seeds=2, include_baselines=False)
+        experiment, use_cache, key, recipe = sweep._worker_initargs()
+        assert key == stored_experiment.bundle.store_key
+        assert experiment.bundle is None  # the stub ships without weights
+        assert stored_experiment.bundle is not None  # original untouched
+        assert recipe.seed == stored_experiment.bundle.train_seed
+        assert recipe.config == stored_experiment.bundle.train_config
+        # Disabled store → full pickle fallback.
+        monkeypatch.setenv(ENV_STORE_SWITCH, "off")
+        experiment, _, key, recipe = sweep._worker_initargs()
+        assert key is None and recipe is None
+        assert experiment.bundle is not None
+
+    def test_initargs_pickle_without_provenance(self, tiny_experiment):
+        sweep = PolicySweep(tiny_experiment, n_seeds=1, include_baselines=False)
+        experiment, _, key, recipe = sweep._worker_initargs()
+        assert key is None and recipe is None
+        assert experiment is tiny_experiment
+        # Forcing rehydration without a key still falls back safely.
+        forced = PolicySweep(
+            tiny_experiment, n_seeds=1, include_baselines=False, worker_rehydrate=True
+        )
+        assert forced._worker_initargs()[2] is None
+
+    def test_parallel_rehydration_matches_sequential(self, stored_experiment):
+        policies = [rr_policy(3), origin_policy(3)]
+        sweep = PolicySweep(stored_experiment, n_seeds=2, include_baselines=False)
+        sequential = sweep.run(policies, workers=1)
+        parallel = sweep.run(policies, workers=2)
+        for spec in policies:
+            a = sequential.policies[spec.name]
+            b = parallel.policies[spec.name]
+            assert [
+                (r.true_label, r.predicted_label, r.active_nodes) for r in a.records
+            ] == [(r.true_label, r.predicted_label, r.active_nodes) for r in b.records]
+            assert a.comm_energy_j == b.comm_energy_j
+
+    def test_worker_bundle_retrains_on_vanished_entry(self, micro_dataset, store_env):
+        trained = load_or_train_bundle(micro_dataset, BUDGET_J, seed=5, config=FAST)
+        experiment = HARExperiment(
+            micro_dataset, trained, config=SimulationConfig(n_windows=10), seed=3
+        )
+        recipe = _BundleRecipe(
+            budget_j=trained.budget_j,
+            seed=trained.train_seed,
+            config=trained.train_config,
+            cost_model=trained.cost_model,
+        )
+        ArtifactStore(store_env).invalidate(trained.store_key)
+        rebuilt = _worker_bundle(experiment, trained.store_key, recipe)
+        _states_equal(trained, rebuilt)
+
+    def test_worker_bundle_without_recipe_fails_loudly(
+        self, tiny_experiment, store_env
+    ):
+        with pytest.raises(ConfigurationError):
+            _worker_bundle(tiny_experiment, "d" * 32, None)
