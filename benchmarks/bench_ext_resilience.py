@@ -13,6 +13,7 @@ import pytest
 
 from benchmarks.conftest import SEEDS, standard_config
 from repro.core.policies import origin_policy
+from repro.faults import FaultPlan
 from repro.utils.text import format_table
 
 FAIL_AT = 100  # the wrist node dies a fifth into the run
@@ -32,7 +33,7 @@ def resilience(mhealth_exp):
                 origin_policy(12),
                 seed=seed,
                 subject=subject,
-                failures={wrist_id: FAIL_AT},
+                faults=FaultPlan.from_failures({wrist_id: FAIL_AT}),
             ).event_accuracy
         )
     return float(np.mean(healthy)), float(np.mean(failed))
@@ -106,7 +107,10 @@ def test_battery_trickle_rescues_starved_deployment(hybrid, benchmark):
 def test_resilience_timing(benchmark, mhealth_exp):
     benchmark.pedantic(
         lambda: mhealth_exp.run(
-            origin_policy(12), seed=2, n_windows=120, failures={1: 40}
+            origin_policy(12),
+            seed=2,
+            n_windows=120,
+            faults=FaultPlan.from_failures({1: 40}),
         ),
         rounds=1,
         iterations=1,

@@ -27,6 +27,15 @@ store (trains + publishes) vs a warm store (rehydrates from disk), each
 build its own subprocess.  The warm build must be at least 5x faster;
 results go to ``benchmarks/results/BENCH_store.json``.
 
+``--chaos`` benchmarks the resilience layer instead: the parallel sweep
+is run three ways — plain, with the chaos harness armed but injecting
+nothing (the supervision-overhead gate, budget <10%), and under an
+actual :class:`~repro.resilience.ChaosPlan` that crashes >=30% of the
+work units and hangs one past its task timeout.  All runs (including
+the perturbed one, which recovers via retries) must stay byte-identical
+to the sequential reference; results go to
+``benchmarks/results/BENCH_resilience.json``.
+
 Run with ``PYTHONPATH=src python benchmarks/bench_perf_sweep.py``.
 Deliberately a standalone script, not a pytest bench: it measures
 wall-clock ratios and must control its own repetition and output.
@@ -41,9 +50,12 @@ import subprocess
 import sys
 import tempfile
 
+import math
+
 from repro.obs.observer import Observability
+from repro.resilience import ChaosAction, ChaosPlan
 from repro.sim.experiment import HARExperiment, SimulationConfig
-from repro.sim.sweep import PolicySweep, paper_policy_grid
+from repro.sim.sweep import PolicySweep, _split_indices, paper_policy_grid
 
 try:
     from benchmarks.runmeta import WallClock, write_stamped_json
@@ -52,9 +64,20 @@ except ImportError:  # invoked as a script: sibling import
 
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "results", "BENCH_sweep.json")
 STORE_OUTPUT = os.path.join(os.path.dirname(__file__), "results", "BENCH_store.json")
+RESILIENCE_OUTPUT = os.path.join(
+    os.path.dirname(__file__), "results", "BENCH_resilience.json"
+)
 
 #: Acceptable tracing overhead (fraction of untraced wall time).
 OVERHEAD_BUDGET = 0.10
+
+#: Acceptable supervision overhead: chaos harness armed (timeouts,
+#: per-attempt argument injection) but injecting nothing, vs the plain
+#: parallel sweep.
+SUPERVISION_BUDGET = 0.10
+
+#: Fraction of chaos-bench work units killed on their first attempt.
+CHAOS_CRASH_FRACTION = 0.34
 
 #: Minimum warm-store speedup over a cold (training) build; the artifact
 #: store's contract is "rehydration is much cheaper than retraining".
@@ -109,6 +132,13 @@ def parse_args(argv=None):
     )
     parser.add_argument(
         "--warm-reps", type=int, default=3, help="warm-store builds to min over"
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="benchmark the resilience layer instead: supervised sweep with "
+        f">= {CHAOS_CRASH_FRACTION:.0%} of units chaos-crashed plus one hang "
+        f"(JSON default {RESILIENCE_OUTPUT})",
     )
     return parser.parse_args(argv)
 
@@ -204,7 +234,9 @@ def results_identical(a, b):
     return True
 
 
-def timed_sweep(experiment, policies, *, n_seeds, seed, cache, workers, obs=None):
+def timed_sweep(
+    experiment, policies, *, n_seeds, seed, cache, workers, obs=None, **run_kwargs
+):
     """One sweep run, wall-timed; returns (seconds, SweepResult)."""
     sweep = PolicySweep(
         experiment,
@@ -213,14 +245,164 @@ def timed_sweep(experiment, policies, *, n_seeds, seed, cache, workers, obs=None
         use_prediction_cache=cache,
     )
     with WallClock() as clock:
-        result = sweep.run(policies, seed=seed, workers=workers, obs=obs)
+        result = sweep.run(policies, seed=seed, workers=workers, obs=obs, **run_kwargs)
     return clock.elapsed_s, result
+
+
+def _sweep_unit_count(n_policies: int, n_seeds: int, workers: int) -> int:
+    """How many work units ``PolicySweep._run_parallel`` will build
+    (mirrors its chunking so the chaos plan can cover every unit)."""
+    chunks = max(1, math.ceil(workers / n_seeds))
+    per_seed = len(_split_indices(n_policies, min(chunks, n_policies)))
+    return n_seeds * per_seed
+
+
+def run_chaos(args) -> int:
+    """Supervised sweep under injected crashes/hangs; see module doc."""
+    policies = paper_policy_grid()
+    if args.smoke:
+        n_windows, n_seeds = 40, 2
+        task_timeout_s, hang_s = 20.0, 45.0
+    else:
+        n_windows, n_seeds = args.n_windows, args.seeds
+        task_timeout_s, hang_s = 120.0, 150.0
+    # Keep the pool smaller than the unit count so the hang victim (the
+    # last unit) is still queued while the crash wave breaks the pool;
+    # otherwise BrokenProcessPool converts the in-flight hang into a
+    # crash charge and the timeout path goes unexercised.
+    workers = max(2, args.workers)
+    while True:
+        n_units = _sweep_unit_count(len(policies), n_seeds, workers)
+        if workers < n_units or workers <= 2:
+            break
+        workers = n_units - 1
+    n_crashed = min(
+        max(1, math.ceil(CHAOS_CRASH_FRACTION * n_units)), n_units - 1
+    )
+    actions = {index: ChaosAction(kind="crash") for index in range(n_crashed)}
+    actions[n_units - 1] = ChaosAction(kind="hang", hang_s=hang_s)
+    plan = ChaosPlan(actions=actions)
+    n_hung = 1
+
+    print(
+        f"building experiment (n_windows={n_windows}, grid={len(policies)} policies, "
+        f"seeds={n_seeds}, workers={workers}, units={n_units}: "
+        f"{n_crashed} crash + {n_hung} hang scheduled) ...",
+        flush=True,
+    )
+    experiment = HARExperiment.standard_mhealth(
+        seed=7, config=SimulationConfig(n_windows=n_windows)
+    )
+    run = lambda **kw: timed_sweep(  # noqa: E731
+        experiment, policies, n_seeds=n_seeds, seed=11, cache=True, **kw
+    )
+    with WallClock() as total_clock:
+        t_seq, r_seq = run(workers=1)
+        print(f"sequential reference   : {t_seq:8.2f} s", flush=True)
+        t_par, r_par = run(workers=workers)
+        print(f"parallel plain         : {t_par:8.2f} s", flush=True)
+        # Harness armed — timeouts ticking, per-attempt argument
+        # injection live — but injecting nothing: the supervision
+        # machinery's own overhead.
+        reps = 3 if args.smoke else 1
+        t_armed, r_armed = None, None
+        for _ in range(reps):
+            t_par_i, _ = run(workers=workers)
+            t_armed_i, r_armed = run(
+                workers=workers, chaos=ChaosPlan(), task_timeout_s=task_timeout_s
+            )
+            t_par = min(t_par, t_par_i)
+            t_armed = t_armed_i if t_armed is None else min(t_armed, t_armed_i)
+        overhead = (t_armed - t_par) / t_par
+        print(
+            f"harness armed, no chaos: {t_armed:8.2f} s "
+            f"({overhead:+.1%} vs plain parallel)",
+            flush=True,
+        )
+        t_chaos, r_chaos = run(
+            workers=workers, chaos=plan, task_timeout_s=task_timeout_s
+        )
+        degradation = r_chaos.degradation
+        print(
+            f"chaos-injected         : {t_chaos:8.2f} s "
+            f"({degradation.summary().splitlines()[0] if degradation else 'no incidents?'})",
+            flush=True,
+        )
+
+    identical = (
+        results_identical(r_seq, r_par)
+        and results_identical(r_seq, r_armed)
+        and results_identical(r_seq, r_chaos)
+    )
+    if not identical:
+        print("FAIL: supervised/chaos sweeps diverged from the sequential reference")
+        return 1
+    print("per-slot records byte-identical across all four modes")
+    if degradation is None or degradation.crashes < n_crashed or not degradation.complete:
+        print("FAIL: the chaos plan did not fire (or cells were lost)")
+        return 1
+    if degradation.timeouts < n_hung:
+        print("FAIL: the scheduled hang was not reaped by the task timeout")
+        return 1
+    if args.smoke and overhead > SUPERVISION_BUDGET:
+        print(
+            f"FAIL: supervision overhead {overhead:.1%} exceeds the "
+            f"{SUPERVISION_BUDGET:.0%} budget"
+        )
+        return 1
+
+    report = {
+        "bench": "sweep_resilience_chaos",
+        "config": {
+            "dataset": "mhealth-like",
+            "n_windows": n_windows,
+            "n_seeds": n_seeds,
+            "n_policies": len(policies),
+            "workers": workers,
+            "n_units": n_units,
+            "crash_fraction": CHAOS_CRASH_FRACTION,
+            "crashed_units": n_crashed,
+            "hung_units": n_hung,
+            "task_timeout_s": task_timeout_s,
+            "cpu_count": os.cpu_count(),
+            "smoke": args.smoke,
+        },
+        "timings_s": {
+            "sequential_reference": round(t_seq, 3),
+            "parallel_plain": round(t_par, 3),
+            "parallel_harness_armed": round(t_armed, 3),
+            "parallel_chaos_injected": round(t_chaos, 3),
+        },
+        "supervision": {
+            "overhead_fraction": round(overhead, 4),
+            "budget_fraction": SUPERVISION_BUDGET,
+        },
+        "chaos_recovery": {
+            "crashes": degradation.crashes,
+            "timeouts": degradation.timeouts,
+            "retries": degradation.retries,
+            "pool_restarts": degradation.pool_restarts,
+            "failed_cells": degradation.failed_cells,
+            "recovered": degradation.complete,
+        },
+        "records_identical": identical,
+    }
+    print(json.dumps({**report["supervision"], **report["chaos_recovery"]}, indent=2))
+    output = args.output
+    if output is None and not args.smoke:
+        output = RESILIENCE_OUTPUT
+    if output:
+        write_stamped_json(output, report, wall_time_s=total_clock.elapsed_s)
+        print(f"wrote {output}")
+    return 0
 
 
 def main(argv=None) -> int:
     args = parse_args(argv)
     if args.cold_start:
         return run_cold_start(args)
+    if args.chaos:
+        return run_chaos(args)
     policies = paper_policy_grid()
     if args.smoke:
         n_windows, n_seeds = 40, 2

@@ -49,6 +49,12 @@ class ObservabilityError(ReproError, ValueError):
     missing payload field, incompatible metric merge, schema drift)."""
 
 
+class ResilienceError(ReproError, RuntimeError):
+    """Supervised execution could not deliver the requested work (cells
+    exhausted their retries with ``on_failure="raise"``, a journal was
+    opened against a different sweep's fingerprint, ...)."""
+
+
 class StoreError(ReproError, RuntimeError):
     """An artifact-store operation failed (unwritable root, lock timeout,
     malformed manifest, key/schema mismatch, ...).  Integrity failures on

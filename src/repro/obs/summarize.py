@@ -140,12 +140,37 @@ def _store_line(exported: Dict[str, Any]) -> Optional[str]:
     return ", ".join(parts)
 
 
+def _resilience_line(exported: Dict[str, Any]) -> Optional[str]:
+    """One-line supervision summary, or ``None`` for an incident-free run."""
+    counters = exported["counters"]
+    parts = []
+    for name, label in (
+        ("resilience.crashes", "crash(es)"),
+        ("resilience.timeouts", "timeout(s)"),
+        ("resilience.task_errors", "task error(s)"),
+        ("resilience.retries", "retry(ies)"),
+        ("resilience.requeued", "requeue(s)"),
+        ("resilience.pool_restarts", "pool restart(s)"),
+        ("resilience.giveups", "giveup(s)"),
+        ("resilience.journal.hit", "journal hit(s)"),
+    ):
+        value = int(counters.get(name, 0))
+        if value:
+            parts.append(f"{value} {label}")
+    if not parts:
+        return None
+    return "resilience: " + ", ".join(parts)
+
+
 def _metrics_section(metrics: MetricsRegistry, top: int = 10) -> List[str]:
     exported = metrics.to_dict()
     lines: List[str] = []
     store = _store_line(exported)
     if store is not None:
         lines.append(store)
+    resilience = _resilience_line(exported)
+    if resilience is not None:
+        lines.append(resilience)
     timers = exported["timers"]
     if timers:
         lines.append("top timers (by total wall time):")
@@ -160,7 +185,7 @@ def _metrics_section(metrics: MetricsRegistry, top: int = 10) -> List[str]:
     headline = {
         name: value
         for name, value in counters.items()
-        if name.startswith(("sim.", "faults.", "store."))
+        if name.startswith(("sim.", "faults.", "store.", "resilience."))
     }
     if headline:
         lines.append("counters:")

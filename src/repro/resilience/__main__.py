@@ -1,0 +1,75 @@
+"""Inspect a sweep journal from the command line.
+
+Usage::
+
+    python -m repro.resilience info  <journal.jsonl>
+    python -m repro.resilience cells <journal.jsonl>
+
+``info`` prints the header (schema, fingerprint) and per-kind cell
+counts; ``cells`` lists every completed cell key.  Both read the file
+directly — no fingerprint is required, so any journal can be inspected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ResilienceError
+from repro.resilience.journal import _CELL_KIND, _HEADER_KIND
+
+
+def read_journal(path: str) -> Tuple[Dict[str, Any], List[str]]:
+    """The header and cell keys of a journal file (tolerant of a torn
+    tail, like the runtime loader)."""
+    header: Optional[Dict[str, Any]] = None
+    cells: List[str] = []
+    with open(path, "r") as handle:
+        for line in handle:
+            if not line.endswith("\n"):
+                break
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if header is None:
+                if document.get("kind") != _HEADER_KIND:
+                    raise ResilienceError(f"{path} is not a sweep journal")
+                header = document
+            elif document.get("kind") == _CELL_KIND:
+                cells.append(document["cell"])
+    if header is None:
+        raise ResilienceError(f"{path} has no journal header")
+    return header, cells
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("command", choices=("info", "cells"))
+    parser.add_argument("journal", help="sweep journal JSONL file")
+    args = parser.parse_args(argv)
+
+    header, cells = read_journal(args.journal)
+    if args.command == "cells":
+        for cell in sorted(cells):
+            print(cell)  # noqa: T201 - CLI output
+        return 0
+    kinds: Dict[str, int] = {}
+    for cell in cells:
+        kind = cell.split(":", 1)[0]
+        kinds[kind] = kinds.get(kind, 0) + 1
+    print(f"journal      : {args.journal}")  # noqa: T201 - CLI output
+    print(f"schema       : v{header.get('schema_version')}")  # noqa: T201
+    print(f"fingerprint  : {header.get('fingerprint')}")  # noqa: T201
+    print(f"cells        : {len(cells)}")  # noqa: T201 - CLI output
+    for kind in sorted(kinds):
+        print(f"  {kind:<10} : {kinds[kind]}")  # noqa: T201 - CLI output
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Partial-result salvage accounting for degraded sweeps.
+
+When a sweep runs with ``on_failure="salvage"`` and some cells exhaust
+their retries, the sweep returns the merged results of every surviving
+cell plus a :class:`DegradationReport` describing exactly what was lost
+— the execution-layer analogue of the simulator's
+:class:`~repro.faults.stats.FaultStats` graceful-degradation ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """One sweep cell that exhausted its retries."""
+
+    cell: str
+    seed: int
+    attempts: int
+    cause: str
+    policy: Optional[str] = None
+
+
+@dataclass
+class DegradationReport:
+    """What a salvaged sweep delivered, and what it could not.
+
+    ``retries``/``pool_restarts`` count supervision incidents across
+    the whole sweep (successful recoveries included), so a report with
+    zero failed cells but nonzero retries records a sweep that was
+    perturbed and fully recovered.
+    """
+
+    total_cells: int
+    failed: List[FailedCell] = field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    pool_restarts: int = 0
+
+    @property
+    def completed_cells(self) -> int:
+        """Cells whose results made it into the merged sweep."""
+        return self.total_cells - len(self.failed)
+
+    @property
+    def failed_cells(self) -> int:
+        """Cells lost after exhausting their retries."""
+        return len(self.failed)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every cell survived (possibly via retries)."""
+        return not self.failed
+
+    def causes(self) -> Dict[str, int]:
+        """Failure-cause histogram over the lost cells."""
+        histogram: Dict[str, int] = {}
+        for cell in self.failed:
+            histogram[cell.cause] = histogram.get(cell.cause, 0) + 1
+        return histogram
+
+    def summary(self) -> str:
+        """Multi-line human-readable account of the degradation."""
+        lines = [
+            f"sweep degradation: {self.completed_cells}/{self.total_cells} "
+            f"cell(s) completed, {self.failed_cells} failed "
+            f"({self.retries} retry(ies), {self.crashes} crash(es), "
+            f"{self.timeouts} timeout(s), {self.pool_restarts} pool restart(s))"
+        ]
+        for cell in self.failed:
+            lines.append(
+                f"  {cell.cell}: {cell.cause} after {cell.attempts} attempt(s)"
+            )
+        return "\n".join(lines)

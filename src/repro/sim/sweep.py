@@ -6,13 +6,26 @@ is 16 policies x ``n_seeds`` runs.  Two performance layers keep it fast:
 * a per-seed :class:`~repro.sim.predcache.PredictionCache` shares the
   timeline/window/softmax precompute across every policy of a seed, and
 * ``run(..., workers=N)`` fans ``(policy, seed)`` work out across a
-  :class:`~concurrent.futures.ProcessPoolExecutor` with picklable run
-  specs; work units are grouped seed-major so each worker builds one
-  material per seed it owns.
+  process pool with picklable run specs; work units are grouped
+  seed-major so each worker builds one material per seed it owns.
 
-Both layers are bit-transparent: cached, uncached and parallel sweeps
-produce byte-identical results (asserted by the test suite and the CI
-benchmark smoke).
+A resilience layer (``repro.resilience``) keeps the parallel path alive
+under real-world failures:
+
+* the pool is a :class:`~repro.resilience.SupervisedPool` — per-task
+  timeouts, bounded deterministic-backoff retries and
+  ``BrokenProcessPool`` recovery, so a crashed or hung worker costs one
+  retry instead of the sweep;
+* ``run(journal=...)`` checkpoints every completed ``(policy, seed)``
+  cell to a :class:`~repro.resilience.SweepJournal` keyed by the
+  sweep's bundle/config digest, making interrupted sweeps resumable;
+* ``run(on_failure="salvage")`` returns the merged surviving cells plus
+  a :class:`~repro.resilience.DegradationReport` when retries exhaust,
+  instead of raising.
+
+All layers are bit-transparent: cached, uncached, parallel, resumed and
+chaos-perturbed sweeps produce byte-identical results (asserted by the
+test suite and the CI benchmark smoke).
 """
 
 from __future__ import annotations
@@ -20,9 +33,8 @@ from __future__ import annotations
 import copy
 import logging
 import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,11 +49,24 @@ from repro.core.policies import (
     rr_policy,
 )
 from repro.datasets.activities import Activity
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ResilienceError
 from repro.faults.stats import FaultStats
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import NULL_OBS, Observability
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+from repro.resilience.chaos import ChaosAction, ChaosPlan, apply_chaos
+from repro.resilience.journal import (
+    SweepJournal,
+    baseline_cell,
+    decode_baseline_result,
+    decode_experiment_result,
+    encode_baseline_result,
+    encode_experiment_result,
+    policy_cell,
+    sweep_fingerprint,
+)
+from repro.resilience.pool import SupervisedPool, SupervisedTask
+from repro.resilience.report import DegradationReport, FailedCell
 from repro.sim.baselines import BaselineResult, evaluate_baseline
 from repro.sim.experiment import HARExperiment
 from repro.sim.predcache import PredictionCache
@@ -50,6 +75,9 @@ from repro.sim.training import TrainedSensorBundle, TrainingConfig
 from repro.wsn.node import NodeStats
 
 logger = logging.getLogger(__name__)
+
+#: ``run(on_failure=...)`` modes: fail the sweep, or keep what survived.
+ON_FAILURE_MODES = ("raise", "salvage")
 
 
 def paper_policy_grid(rr_lengths: Sequence[int] = (3, 6, 9, 12)) -> List[PolicySpec]:
@@ -65,11 +93,17 @@ def paper_policy_grid(rr_lengths: Sequence[int] = (3, 6, 9, 12)) -> List[PolicyS
 
 @dataclass
 class SweepResult:
-    """Results of a policy grid plus both baselines."""
+    """Results of a policy grid plus both baselines.
+
+    ``degradation`` is attached whenever the supervised executor had to
+    intervene (retries, pool restarts) or — in salvage mode — cells
+    were lost; it is ``None`` for a clean, unperturbed sweep.
+    """
 
     activities: List[Activity]
     policies: Dict[str, ExperimentResult] = field(default_factory=dict)
     baselines: Dict[str, BaselineResult] = field(default_factory=dict)
+    degradation: Optional[DegradationReport] = None
 
     def policy(self, name: str) -> ExperimentResult:
         """Result of one policy by display name."""
@@ -182,14 +216,45 @@ class PolicySweep:
         seed: Optional[int] = None,
         workers: int = 1,
         obs: Optional[Observability] = None,
+        journal: Optional[Union[str, SweepJournal]] = None,
+        resume: bool = True,
+        on_failure: str = "raise",
+        task_timeout_s: Optional[float] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        chaos: Optional[ChaosPlan] = None,
     ) -> SweepResult:
         """Run the grid; multi-seed runs are merged slot-wise.
 
-        ``workers > 1`` fans the (policy, seed) grid out across that
-        many processes; ``workers=1`` is the plain sequential loop.
-        Results are merged in policy-grid order either way, so the
-        returned :class:`SweepResult` is identical for any worker
-        count.
+        ``workers > 1`` fans the (policy, seed) grid out across a
+        :class:`~repro.resilience.SupervisedPool` of that many
+        processes — a crashed, hung or poisoned worker is retried up to
+        ``max_retries`` times (``task_timeout_s`` bounds each attempt,
+        ``retry_backoff_s`` spaces resubmissions deterministically).
+        ``workers=1`` is the plain sequential loop.  Results are merged
+        in policy-grid order either way, so the returned
+        :class:`SweepResult` is identical for any worker count.
+
+        ``journal`` (a path or an open
+        :class:`~repro.resilience.SweepJournal`) checkpoints every
+        completed cell as it finishes; with ``resume=True`` (default)
+        cells already journaled by a previous — possibly crashed or
+        interrupted — run of the *same* sweep are served from disk, and
+        the resumed sweep is byte-identical to a clean one.
+        ``resume=False`` discards a passed path's existing content.
+
+        ``on_failure`` decides what happens when a cell exhausts its
+        retries: ``"raise"`` (default) raises
+        :class:`~repro.errors.ResilienceError` after the rest of the
+        grid finished (completed cells stay journaled), ``"salvage"``
+        merges the surviving cells and attaches a
+        :class:`~repro.resilience.DegradationReport` as
+        ``result.degradation``.
+
+        ``chaos`` injects a :class:`~repro.resilience.ChaosPlan` of
+        scheduled worker crashes/hangs and store-entry deletions into
+        the parallel path — the test/bench harness for everything
+        above.
 
         ``obs`` instruments the sweep.  Sequentially the bundle is
         threaded straight into every run; with ``workers > 1`` each
@@ -199,30 +264,84 @@ class PolicySweep:
         sequential values (see
         :meth:`repro.obs.MetricsRegistry.deterministic_dict`).  Unit
         traces are re-sequenced into the parent tracer in the same
-        order.
+        order.  Supervision incidents land in ``resilience.*`` counters
+        (nothing is recorded on the clean path).
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if on_failure not in ON_FAILURE_MODES:
+            raise ConfigurationError(
+                f"on_failure must be one of {ON_FAILURE_MODES}, got {on_failure!r}"
+            )
+        if chaos is not None and not chaos.empty and workers == 1:
+            raise ConfigurationError(
+                "chaos injection needs workers > 1 (there is no pool to "
+                "perturb in the sequential path)"
+            )
         policies = list(policies) if policies is not None else paper_policy_grid()
         base_seed = self.experiment.seed if seed is None else int(seed)
         obs = obs if obs is not None else NULL_OBS
+
+        own_journal = False
+        if journal is not None and not isinstance(journal, SweepJournal):
+            journal = SweepJournal.open(
+                journal, sweep_fingerprint(self.experiment), resume=resume
+            )
+            own_journal = True
+        elif isinstance(journal, SweepJournal):
+            expected = sweep_fingerprint(self.experiment)
+            if journal.fingerprint != expected:
+                raise ResilienceError(
+                    f"journal {journal.path} was opened for fingerprint "
+                    f"{journal.fingerprint!r}; this sweep is {expected!r}"
+                )
+
         result = SweepResult(activities=list(self.experiment.dataset.spec.activities))
-
-        with obs.timed("sweep.run"):
-            if workers == 1 or not policies:
-                runs_by_policy = self._run_sequential(policies, base_seed, obs)
-            else:
-                runs_by_policy = self._run_parallel(policies, base_seed, workers, obs)
-            for spec in policies:
-                result.policies[spec.name] = _merge_runs(runs_by_policy[spec.name])
-
-            if self.include_baselines:
-                for baseline in (Baseline1, Baseline2):
-                    runs = [
-                        self._run_baseline(baseline, base_seed + offset)
-                        for offset in range(self.n_seeds)
+        failed: List[FailedCell] = []
+        incidents: Dict[str, int] = {}
+        try:
+            with obs.timed("sweep.run"):
+                if workers == 1 or not policies:
+                    runs_by_policy = self._run_sequential(
+                        policies, base_seed, obs,
+                        journal=journal, on_failure=on_failure, failed=failed,
+                    )
+                else:
+                    runs_by_policy, incidents = self._run_parallel(
+                        policies, base_seed, workers, obs,
+                        journal=journal, on_failure=on_failure, failed=failed,
+                        task_timeout_s=task_timeout_s, max_retries=max_retries,
+                        retry_backoff_s=retry_backoff_s, chaos=chaos,
+                    )
+                for spec in policies:
+                    surviving = [
+                        run for run in runs_by_policy[spec.name] if run is not None
                     ]
-                    result.baselines[baseline.name] = _merge_baselines(runs)
+                    if surviving:
+                        result.policies[spec.name] = _merge_runs(surviving)
+
+                if failed or any(incidents.values()):
+                    result.degradation = DegradationReport(
+                        total_cells=len(policies) * self.n_seeds,
+                        failed=failed,
+                        retries=incidents.get("retries", 0),
+                        timeouts=incidents.get("timeouts", 0),
+                        crashes=incidents.get("crashes", 0),
+                        pool_restarts=incidents.get("pool_restarts", 0),
+                    )
+                if failed and on_failure == "raise":
+                    raise ResilienceError(result.degradation.summary())
+
+                if self.include_baselines:
+                    for baseline in (Baseline1, Baseline2):
+                        runs = [
+                            self._baseline_run(baseline, base_seed + offset, journal, obs)
+                            for offset in range(self.n_seeds)
+                        ]
+                        result.baselines[baseline.name] = _merge_baselines(runs)
+        finally:
+            if own_journal:
+                journal.close()
         return result
 
     # ------------------------------------------------------------------
@@ -230,22 +349,65 @@ class PolicySweep:
     # ------------------------------------------------------------------
 
     def _run_sequential(
-        self, policies: Sequence[PolicySpec], base_seed: int, obs: Observability
-    ) -> Dict[str, List[ExperimentResult]]:
-        """Seed-major loop: one material build serves every policy."""
+        self,
+        policies: Sequence[PolicySpec],
+        base_seed: int,
+        obs: Observability,
+        *,
+        journal: Optional[SweepJournal] = None,
+        on_failure: str = "raise",
+        failed: Optional[List[FailedCell]] = None,
+    ) -> Dict[str, List[Optional[ExperimentResult]]]:
+        """Seed-major loop: one material build serves every policy.
+
+        Journal hits skip both the run and — when a whole seed is
+        already journaled — that seed's material build.
+        """
         cache = (
             PredictionCache(self.experiment, obs=obs)
             if self.use_prediction_cache
             else None
         )
-        runs: Dict[str, List[ExperimentResult]] = {spec.name: [] for spec in policies}
+        runs: Dict[str, List[Optional[ExperimentResult]]] = {
+            spec.name: [None] * self.n_seeds for spec in policies
+        }
         for offset in range(self.n_seeds):
             run_seed = base_seed + offset
-            material = cache.material(run_seed) if cache is not None else None
+            material = None
+            material_built = False
             for spec in policies:
-                runs[spec.name].append(
-                    self.experiment.run(spec, seed=run_seed, material=material, obs=obs)
-                )
+                cell = policy_cell(spec, run_seed)
+                if journal is not None:
+                    payload = journal.get(cell)
+                    if payload is not None:
+                        if obs.enabled:
+                            obs.metrics.inc("resilience.journal.hit")
+                        runs[spec.name][offset] = decode_experiment_result(payload)
+                        continue
+                if cache is not None and not material_built:
+                    material = cache.material(run_seed)
+                    material_built = True
+                try:
+                    run = self.experiment.run(
+                        spec, seed=run_seed, material=material, obs=obs
+                    )
+                except Exception as error:
+                    if on_failure != "salvage":
+                        raise
+                    logger.error("cell %s failed; salvaging: %s", cell, error)
+                    failed.append(
+                        FailedCell(
+                            cell=cell,
+                            seed=run_seed,
+                            attempts=1,
+                            cause=f"{type(error).__name__}: {error}",
+                            policy=spec.name,
+                        )
+                    )
+                    continue
+                if journal is not None:
+                    journal.record(cell, encode_experiment_result(run))
+                runs[spec.name][offset] = run
         return runs
 
     def _run_parallel(
@@ -254,23 +416,54 @@ class PolicySweep:
         base_seed: int,
         workers: int,
         obs: Observability,
-    ) -> Dict[str, List[ExperimentResult]]:
-        """Fan (policy, seed) units out over a process pool.
+        *,
+        journal: Optional[SweepJournal],
+        on_failure: str,
+        failed: List[FailedCell],
+        task_timeout_s: Optional[float],
+        max_retries: int,
+        retry_backoff_s: float,
+        chaos: Optional[ChaosPlan],
+    ) -> Tuple[Dict[str, List[Optional[ExperimentResult]]], Dict[str, int]]:
+        """Fan (policy, seed) units out over a supervised process pool.
 
-        Units are seed-major chunks of the policy list: with fewer
-        workers than seeds each unit is a whole seed (one material
-        build per unit); with more workers each seed's policy list is
-        split so every worker stays busy.  Unit order — and therefore
-        result order, metrics-merge order and trace order — is
-        deterministic.
+        Units are seed-major chunks of the (journal-filtered) policy
+        list: with fewer workers than seeds each unit is a whole seed
+        (one material build per unit); with more workers each seed's
+        policy list is split so every worker stays busy.  Unit order —
+        and therefore result order, metrics-merge order and trace
+        order — is deterministic; retries do not perturb it because
+        outcomes fold in unit order regardless of completion order.
         """
-        chunks = min(
-            max(1, math.ceil(workers / self.n_seeds)), len(policies)
-        )
-        units: List[Tuple[int, List[int]]] = []
+        runs: Dict[str, List[Optional[ExperimentResult]]] = {
+            spec.name: [None] * self.n_seeds for spec in policies
+        }
+        remaining: List[Tuple[int, List[int]]] = []
         for offset in range(self.n_seeds):
-            for indices in _split_indices(len(policies), chunks):
-                units.append((offset, indices))
+            run_seed = base_seed + offset
+            left: List[int] = []
+            for index, spec in enumerate(policies):
+                payload = (
+                    journal.get(policy_cell(spec, run_seed))
+                    if journal is not None
+                    else None
+                )
+                if payload is not None:
+                    if obs.enabled:
+                        obs.metrics.inc("resilience.journal.hit")
+                    runs[spec.name][offset] = decode_experiment_result(payload)
+                else:
+                    left.append(index)
+            if left:
+                remaining.append((offset, left))
+        if not remaining:
+            return runs, {}
+
+        chunks = max(1, math.ceil(workers / len(remaining)))
+        units: List[Tuple[int, List[int]]] = []
+        for offset, indices in remaining:
+            for split in _split_indices(len(indices), min(chunks, len(indices))):
+                units.append((offset, [indices[i] for i in split]))
         logger.debug(
             "parallel sweep: %d unit(s) over %d worker(s), %d policies x %d seeds",
             len(units), workers, len(policies), self.n_seeds,
@@ -278,36 +471,88 @@ class PolicySweep:
 
         with_obs = obs.enabled
         with_trace = with_obs and obs.tracer.enabled
-        runs: Dict[str, List[ExperimentResult]] = {
-            spec.name: [None] * self.n_seeds for spec in policies
-        }
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_sweep_worker,
-            initargs=self._worker_initargs(),
-        ) as pool:
-            futures = [
-                pool.submit(
-                    _run_sweep_unit,
-                    [policies[index] for index in indices],
-                    base_seed + offset,
-                    with_obs,
-                    with_trace,
+        initargs = self._worker_initargs()
+        if chaos is not None and chaos.drop_store_keys:
+            # Deleted *after* initargs were computed, so workers that
+            # planned to rehydrate must fall back to the recorded
+            # deterministic-retrain recipe.
+            apply_chaos_store_drops(chaos.drop_store_keys)
+
+        tasks: List[SupervisedTask] = []
+        for unit_index, (offset, indices) in enumerate(units):
+            specs = [policies[i] for i in indices]
+            run_seed = base_seed + offset
+
+            def args_for(
+                attempt: int,
+                specs: List[PolicySpec] = specs,
+                run_seed: int = run_seed,
+                unit_index: int = unit_index,
+            ) -> Tuple[Any, ...]:
+                action = (
+                    chaos.action_for(unit_index, attempt)
+                    if chaos is not None
+                    else None
                 )
-                for offset, indices in units
-            ]
-            for (offset, indices), future in zip(units, futures):
-                unit_runs, unit_metrics, unit_events = future.result()
+                return (specs, run_seed, with_obs, with_trace, action)
+
+            tasks.append(
+                SupervisedTask(
+                    fn=_run_sweep_unit,
+                    args_for_attempt=args_for,
+                    label=f"unit{unit_index}:seed{run_seed}x{len(specs)}",
+                )
+            )
+
+        def checkpoint(outcome: Any) -> None:
+            # Runs in completion order: each finished unit is journaled
+            # immediately, so an interrupt loses at most in-flight work.
+            if journal is None or not outcome.ok:
+                return
+            offset, indices = units[outcome.index]
+            unit_runs = outcome.result[0]
+            for index, run in zip(indices, unit_runs):
+                journal.record(
+                    policy_cell(policies[index], base_seed + offset),
+                    encode_experiment_result(run),
+                )
+
+        pool = SupervisedPool(
+            workers,
+            initializer=_init_sweep_worker,
+            initargs=initargs,
+            task_timeout_s=task_timeout_s,
+            max_retries=max_retries,
+            backoff_s=retry_backoff_s,
+            obs=obs,
+        )
+        outcomes = pool.run(tasks, on_outcome=checkpoint)
+
+        for (offset, indices), outcome in zip(units, outcomes):
+            if outcome.ok:
+                unit_runs, unit_metrics, unit_events = outcome.result
                 for index, run in zip(indices, unit_runs):
                     runs[policies[index].name][offset] = run
-                # Fold worker observability back in submission order —
-                # the order is deterministic, so the merged registry is
+                # Fold worker observability back in unit order — the
+                # order is deterministic, so the merged registry is
                 # identical for any worker count.
                 if unit_metrics is not None:
                     obs.metrics.merge(MetricsRegistry.from_dict(unit_metrics))
                 if unit_events is not None:
                     obs.tracer.extend(unit_events)
-        return runs
+            else:
+                run_seed = base_seed + offset
+                for index in indices:
+                    failed.append(
+                        FailedCell(
+                            cell=policy_cell(policies[index], run_seed),
+                            seed=run_seed,
+                            attempts=outcome.attempts,
+                            cause=outcome.cause or "unknown",
+                            policy=policies[index].name,
+                        )
+                    )
+        return runs, dict(pool.stats)
 
     def _worker_initargs(self) -> Tuple[Any, ...]:
         """What each pool worker is initialized with.
@@ -348,6 +593,27 @@ class PolicySweep:
             dwell_scale=self.experiment.config.dwell_scale,
         )
 
+    def _baseline_run(
+        self,
+        baseline: BaselineSpec,
+        seed: int,
+        journal: Optional[SweepJournal],
+        obs: Observability,
+    ) -> BaselineResult:
+        """One baseline run, served from / recorded into the journal."""
+        if journal is not None:
+            payload = journal.get(baseline_cell(baseline.name, seed))
+            if payload is not None:
+                if obs.enabled:
+                    obs.metrics.inc("resilience.journal.hit")
+                return decode_baseline_result(payload)
+        run = self._run_baseline(baseline, seed)
+        if journal is not None:
+            journal.record(
+                baseline_cell(baseline.name, seed), encode_baseline_result(run)
+            )
+        return run
+
 
 # ---------------------------------------------------------------------------
 # process-pool plumbing (module level so everything pickles)
@@ -378,6 +644,18 @@ def _store_has_entry(key: str) -> bool:
 
     store = default_store()
     return store.enabled and store.contains(key)
+
+
+def apply_chaos_store_drops(keys: Sequence[str]) -> None:
+    """Delete artifact-store entries on the chaos plan's behalf."""
+    from repro.store.core import default_store
+
+    store = default_store()
+    if not store.enabled:
+        return
+    for key in keys:
+        logger.warning("chaos: dropping store entry %s before the sweep", key)
+        store.invalidate(key)
 
 
 def _worker_bundle(
@@ -437,14 +715,19 @@ def _run_sweep_unit(
     seed: int,
     with_obs: bool = False,
     with_trace: bool = False,
+    chaos: Optional[ChaosAction] = None,
 ) -> Tuple[List[ExperimentResult], Optional[Dict[str, Any]], Optional[List[TraceEvent]]]:
     """Run one seed's chunk of policies inside a worker process.
 
     Returns the runs plus (when requested) this unit's metrics snapshot
     and trace events, which the parent folds back in unit order.
+    ``chaos`` (injected per attempt by the harness) fires before any
+    work, so a crashed/hung attempt contributes nothing and the clean
+    retry produces the full, deterministic unit result.
     """
     if _WORKER_EXPERIMENT is None:
         raise ConfigurationError("sweep worker used before initialization")
+    apply_chaos(chaos)
     if with_obs:
         obs = Observability(tracer=Tracer() if with_trace else NULL_TRACER)
     else:

@@ -174,8 +174,12 @@ class ArtifactStore:
         self._check_key(key)
         return os.path.join(self._objects_dir(), key)
 
-    def lock(self, key: str, *, timeout_s: float = 60.0) -> FileLock:
-        """The cross-process lock guarding one entry."""
+    def lock(self, key: str, *, timeout_s: Optional[float] = None) -> FileLock:
+        """The cross-process lock guarding one entry.
+
+        ``timeout_s=None`` (default) uses the configured acquisition
+        timeout: ``REPRO_STORE_LOCK_TIMEOUT`` when set, else 60s.
+        """
         self._check_key(key)
         return FileLock(
             os.path.join(self.root, "locks", f"{key}.lock"), timeout_s=timeout_s

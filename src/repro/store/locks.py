@@ -32,6 +32,31 @@ logger = logging.getLogger(__name__)
 #: process and is broken (the fcntl path never needs this).
 STALE_LOCK_S = 300.0
 
+#: Overrides the default lock-acquisition timeout (seconds, > 0).
+#: Useful when many chaos-restarted workers hammer one store, or to
+#: fail fast in tests.
+ENV_LOCK_TIMEOUT = "REPRO_STORE_LOCK_TIMEOUT"
+
+DEFAULT_TIMEOUT_S = 60.0
+
+
+def default_lock_timeout_s() -> float:
+    """The configured lock timeout: ``REPRO_STORE_LOCK_TIMEOUT`` or 60s."""
+    raw = os.environ.get(ENV_LOCK_TIMEOUT)
+    if raw is None or not raw.strip():
+        return DEFAULT_TIMEOUT_S
+    try:
+        timeout_s = float(raw)
+    except ValueError:
+        raise StoreError(
+            f"{ENV_LOCK_TIMEOUT}={raw!r} is not a number (want seconds, e.g. 30)"
+        ) from None
+    if timeout_s <= 0:
+        raise StoreError(
+            f"{ENV_LOCK_TIMEOUT}={raw!r} must be > 0 seconds"
+        )
+    return timeout_s
+
 
 class FileLock:
     """Blocking-with-timeout exclusive lock on ``path``.
@@ -45,9 +70,17 @@ class FileLock:
     :class:`~repro.errors.StoreError` (the store never self-nests).
     """
 
-    def __init__(self, path: str, *, timeout_s: float = 60.0, poll_s: float = 0.02) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.02,
+    ) -> None:
         self.path = path
-        self.timeout_s = float(timeout_s)
+        self.timeout_s = float(
+            timeout_s if timeout_s is not None else default_lock_timeout_s()
+        )
         self.poll_s = float(poll_s)
         self._fd: Optional[int] = None
         self._exclusive_created = False
@@ -75,10 +108,7 @@ class FileLock:
                 except OSError:
                     if time.monotonic() >= deadline:
                         os.close(fd)
-                        raise StoreError(
-                            f"timed out after {self.timeout_s:.0f}s waiting for "
-                            f"lock {self.path}"
-                        ) from None
+                        raise StoreError(self._timeout_message()) from None
                     time.sleep(self.poll_s)
         else:  # pragma: no cover - Windows fallback
             while True:
@@ -91,10 +121,7 @@ class FileLock:
                 except FileExistsError:
                     self._break_stale()
                     if time.monotonic() >= deadline:
-                        raise StoreError(
-                            f"timed out after {self.timeout_s:.0f}s waiting for "
-                            f"lock {self.path}"
-                        ) from None
+                        raise StoreError(self._timeout_message()) from None
                     time.sleep(self.poll_s)
 
     def release(self) -> None:
@@ -113,6 +140,14 @@ class FileLock:
                 os.unlink(self.path)
             except OSError:
                 pass
+
+    def _timeout_message(self) -> str:
+        return (
+            f"timed out after {self.timeout_s:g}s waiting for lock "
+            f"{self.path}; another process holds it (or held it and died "
+            f"without the kernel releasing it — see the lockfile).  Raise "
+            f"{ENV_LOCK_TIMEOUT} to wait longer."
+        )
 
     def _break_stale(self) -> None:  # pragma: no cover - Windows fallback
         try:

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.faults",
     "repro.sim",
     "repro.store",
+    "repro.resilience",
     "repro.reporting",
     "repro.utils",
     "repro.errors",

@@ -1,0 +1,249 @@
+"""Sweep-level resilience integration: chaos-perturbed parallel sweeps
+must recover byte-identically, journaled sweeps must resume exactly, and
+salvage mode must account for every lost cell.
+
+All tests reuse the session ``tiny_experiment``; the store-deletion
+chaos test trains its own micro bundle against a private store (the
+idiom from ``test_store_bundles.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import origin_policy, rr_policy
+from repro.errors import ConfigurationError, ResilienceError
+from repro.obs.observer import Observability
+from repro.resilience import ChaosAction, ChaosPlan, SweepJournal, sweep_fingerprint
+from repro.sim.sweep import PolicySweep
+
+GRID = [rr_policy(3), origin_policy(3)]
+
+
+def _assert_identical(a, b, *, baselines=True):
+    assert sorted(a.policies) == sorted(b.policies)
+    for name in a.policies:
+        lhs, rhs = a.policy(name), b.policy(name)
+        assert lhs.records == rhs.records
+        assert lhs.node_stats == rhs.node_stats
+        assert lhs.comm_energy_j == rhs.comm_energy_j
+        assert lhs.confidence_updates == rhs.confidence_updates
+        assert lhs.fault_stats == rhs.fault_stats
+    if baselines:
+        assert sorted(a.baselines) == sorted(b.baselines)
+        for name in a.baselines:
+            lhs, rhs = a.baseline(name), b.baseline(name)
+            np.testing.assert_array_equal(lhs.true_labels, rhs.true_labels)
+            np.testing.assert_array_equal(lhs.predicted_labels, rhs.predicted_labels)
+
+
+@pytest.fixture(scope="module")
+def sweep(tiny_experiment):
+    return PolicySweep(tiny_experiment, n_seeds=2, include_baselines=True)
+
+
+@pytest.fixture(scope="module")
+def reference(sweep):
+    """The unperturbed sequential ground truth."""
+    return sweep.run(GRID, workers=1)
+
+
+class TestChaosByteIdentity:
+    # With n_seeds=2 and workers=2 the sweep builds exactly 2 units
+    # (one per seed), so a one-unit plan perturbs 50% of the workers.
+
+    def test_crashed_workers_recover_identically(self, sweep, reference):
+        plan = ChaosPlan(actions={0: ChaosAction(kind="crash")})
+        result = sweep.run(GRID, workers=2, chaos=plan)
+        _assert_identical(reference, result)
+        report = result.degradation
+        assert report is not None and report.complete
+        assert report.crashes >= 1 and report.retries >= 1
+        assert report.pool_restarts >= 1
+
+    def test_hung_worker_reaped_by_timeout_identically(self, sweep, reference):
+        plan = ChaosPlan(actions={0: ChaosAction(kind="hang", hang_s=30.0)})
+        result = sweep.run(GRID, workers=2, chaos=plan, task_timeout_s=6.0)
+        _assert_identical(reference, result)
+        report = result.degradation
+        assert report is not None and report.complete
+        assert report.timeouts == 1
+
+    def test_chaos_requires_a_pool(self, sweep):
+        plan = ChaosPlan(actions={0: ChaosAction(kind="crash")})
+        with pytest.raises(ConfigurationError, match="workers > 1"):
+            sweep.run(GRID, workers=1, chaos=plan)
+
+    def test_bad_on_failure_rejected(self, sweep):
+        with pytest.raises(ConfigurationError, match="on_failure"):
+            sweep.run(GRID, workers=1, on_failure="shrug")
+
+
+class TestJournalResume:
+    def test_journaled_run_matches_clean(self, sweep, reference, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        first = sweep.run(GRID, workers=1, journal=path)
+        _assert_identical(reference, first)
+        journal = SweepJournal.open(path, sweep_fingerprint(sweep.experiment))
+        # 2 policies x 2 seeds + 2 baselines x 2 seeds
+        assert len(journal) == 8
+        journal.close()
+
+    def test_resume_after_interrupt_is_byte_identical(
+        self, sweep, reference, tmp_path
+    ):
+        path = str(tmp_path / "sweep.jsonl")
+        # "Interrupt": unit 0 hangs past its timeout with retries
+        # disabled, so the first run dies after journaling only the
+        # surviving unit.  (A hang, not a crash: a crash would break
+        # the pool and charge the innocent sibling too, while a timeout
+        # requeues innocents uncharged — deterministic partial state.)
+        plan = ChaosPlan(actions={0: ChaosAction(kind="hang", hang_s=30.0)})
+        with pytest.raises(ResilienceError, match="degradation"):
+            sweep.run(
+                GRID, workers=2, journal=path, chaos=plan,
+                task_timeout_s=5.0, max_retries=0, on_failure="raise",
+            )
+        partial = SweepJournal.open(path, sweep_fingerprint(sweep.experiment))
+        n_partial = len(partial)
+        partial.close()
+        assert 0 < n_partial < 8
+
+        # Resume: journaled cells are served from disk, the rest is
+        # recomputed, and the merged result is byte-identical.
+        obs = Observability()
+        resumed = sweep.run(GRID, workers=2, journal=path, obs=obs)
+        _assert_identical(reference, resumed)
+        hits = obs.metrics.to_dict()["counters"].get("resilience.journal.hit", 0)
+        assert hits == n_partial
+
+        # A second resume serves everything from the journal.
+        fully = sweep.run(GRID, workers=1, journal=path)
+        _assert_identical(reference, fully)
+
+    def test_journal_refuses_foreign_sweep(self, sweep, tiny_experiment, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        SweepJournal.open(path, "someone-elses-fingerprint").close()
+        with pytest.raises(ResilienceError, match="different sweep"):
+            sweep.run(GRID, workers=1, journal=path)
+        # resume=False replaces it and proceeds.
+        result = sweep.run(GRID, workers=1, journal=path, resume=False)
+        assert set(result.policies) == {spec.name for spec in GRID}
+
+    def test_open_journal_instance_is_validated(self, sweep, tmp_path):
+        journal = SweepJournal.open(str(tmp_path / "sweep.jsonl"), "wrong-fp")
+        with pytest.raises(ResilienceError, match="fingerprint"):
+            sweep.run(GRID, workers=1, journal=journal)
+        journal.close()
+
+
+class TestSalvage:
+    def test_parallel_salvage_reports_lost_cells(self, sweep, reference):
+        # A hang (not a crash) so the innocent unit is never charged:
+        # exactly unit 0's cells are lost, deterministically.
+        plan = ChaosPlan(actions={0: ChaosAction(kind="hang", hang_s=30.0)})
+        result = sweep.run(
+            GRID, workers=2, chaos=plan, task_timeout_s=5.0,
+            max_retries=0, on_failure="salvage",
+        )
+        report = result.degradation
+        assert report is not None and not report.complete
+        # Unit 0 is seed offset 0 with both policies: 2 cells lost.
+        assert report.failed_cells == 2
+        assert report.total_cells == 4
+        assert {cell.policy for cell in report.failed} == {
+            spec.name for spec in GRID
+        }
+        assert all("timed out" in cell.cause for cell in report.failed)
+        assert all(cell.attempts == 1 for cell in report.failed)
+        # Each policy keeps its surviving seed; merged results cover
+        # half the records of the full run.
+        for spec in GRID:
+            survived = result.policy(spec.name)
+            full = reference.policy(spec.name)
+            assert len(survived.records) * 2 == len(full.records)
+
+    def test_sequential_salvage_catches_cell_errors(self, sweep, tiny_experiment,
+                                                    monkeypatch):
+        real_run = type(tiny_experiment).run
+
+        def flaky(self, spec, **kwargs):
+            if spec.name == GRID[0].name:
+                raise RuntimeError("synthetic cell failure")
+            return real_run(self, spec, **kwargs)
+
+        monkeypatch.setattr(type(tiny_experiment), "run", flaky)
+        result = sweep.run(GRID, workers=1, on_failure="salvage")
+        report = result.degradation
+        assert report is not None and report.failed_cells == 2  # both seeds
+        assert GRID[0].name not in result.policies
+        assert GRID[1].name in result.policies
+        assert all(
+            "synthetic cell failure" in cell.cause for cell in report.failed
+        )
+
+    def test_sequential_raise_propagates_original_error(self, sweep,
+                                                        tiny_experiment,
+                                                        monkeypatch):
+        def broken(self, spec, **kwargs):
+            raise RuntimeError("synthetic cell failure")
+
+        monkeypatch.setattr(type(tiny_experiment), "run", broken)
+        with pytest.raises(RuntimeError, match="synthetic cell failure"):
+            sweep.run(GRID, workers=1, on_failure="raise")
+
+    def test_parallel_raise_reports_after_finishing(self, sweep):
+        plan = ChaosPlan(actions={0: ChaosAction(kind="crash")})
+        with pytest.raises(ResilienceError, match="cell\\(s\\) completed"):
+            sweep.run(GRID, workers=2, chaos=plan, max_retries=0)
+
+
+class TestStoreDropChaos:
+    def test_dropped_entry_falls_back_to_recipe_retrain(self, tmp_path, monkeypatch):
+        from repro.datasets.mhealth import make_mhealth
+        from repro.sim.experiment import HARExperiment, SimulationConfig
+        from repro.sim.training import TrainedSensorBundle, TrainingConfig
+        from repro.store import (
+            ENV_STORE_DIR,
+            ENV_STORE_SWITCH,
+            load_trained_bundle,
+            save_trained_bundle,
+            trained_bundle_key,
+        )
+        from repro.store.core import default_store
+
+        monkeypatch.setenv(ENV_STORE_DIR, str(tmp_path / "store"))
+        monkeypatch.delenv(ENV_STORE_SWITCH, raising=False)
+        fast = TrainingConfig(
+            epochs=1, batch_size=32, early_stopping_patience=1,
+            finetune_epochs=1, final_finetune_epochs=1, finetune_every=8,
+        )
+        dataset = make_mhealth(
+            seed=11, train_windows_per_activity=6, val_windows_per_activity=4,
+            test_windows_per_activity=4, n_train_subjects=2, n_eval_subjects=1,
+        )
+        bundle = TrainedSensorBundle.train(
+            dataset, budget_j=160e-6, seed=5, config=fast
+        )
+        store = default_store()
+        key = trained_bundle_key(
+            dataset, 160e-6, seed=5, config=fast, cost_model=bundle.cost_model
+        )
+        assert save_trained_bundle(store, key, bundle) is not None
+        stored = load_trained_bundle(store, key, dataset)
+        assert stored is not None and stored.store_key == key
+        experiment = HARExperiment(
+            dataset, stored, config=SimulationConfig(n_windows=30), seed=3
+        )
+        sweep = PolicySweep(experiment, n_seeds=2, include_baselines=False)
+        clean = sweep.run(GRID, workers=1)
+
+        # The chaos plan deletes the entry after worker initargs are
+        # computed, so rehydration misses and the recorded recipe must
+        # retrain an identical bundle in each worker.
+        plan = ChaosPlan(drop_store_keys=(key,))
+        perturbed = sweep.run(GRID, workers=2, chaos=plan)
+        assert not store.contains(key)
+        _assert_identical(clean, perturbed, baselines=False)
+        assert perturbed.degradation is None  # drops are not pool incidents

@@ -81,6 +81,30 @@ class TestFileLock:
             with pytest.raises(StoreError):
                 lock.acquire()
 
+    def test_env_timeout_override(self, tmp_path, monkeypatch):
+        from repro.store.locks import ENV_LOCK_TIMEOUT, default_lock_timeout_s
+
+        monkeypatch.setenv(ENV_LOCK_TIMEOUT, "0.1")
+        path = str(tmp_path / "x.lock")
+        lock = FileLock(path)  # timeout picked up from the environment
+        assert lock.timeout_s == 0.1
+        with FileLock(path):
+            with pytest.raises(StoreError, match=ENV_LOCK_TIMEOUT):
+                FileLock(path).acquire()
+        # Explicit timeout_s still beats the environment.
+        assert FileLock(path, timeout_s=5.0).timeout_s == 5.0
+        # Unset: back to the default.
+        monkeypatch.delenv(ENV_LOCK_TIMEOUT)
+        assert default_lock_timeout_s() == 60.0
+
+    def test_env_timeout_rejects_garbage(self, monkeypatch):
+        from repro.store.locks import ENV_LOCK_TIMEOUT, default_lock_timeout_s
+
+        for bad in ("soon", "-3", "0"):
+            monkeypatch.setenv(ENV_LOCK_TIMEOUT, bad)
+            with pytest.raises(StoreError, match=ENV_LOCK_TIMEOUT):
+                default_lock_timeout_s()
+
 
 class TestKeys:
     def test_stable_and_sensitive(self, tiny_dataset):
