@@ -7,6 +7,10 @@ efficiency and the antenna/location gain.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.energy.traces import PowerTrace
 from repro.errors import EnergyModelError
 from repro.utils.validation import check_fraction, check_non_negative
@@ -59,12 +63,27 @@ class Harvester:
             + self.supplemental_w * slot_duration_s
         )
 
-    def slot_energies(self, slot_duration_s: float):
-        """Vector of per-slot delivered joules (fast path)."""
-        return (
+    def slot_energies(self, slot_duration_s: float, *, n_slots: Optional[int] = None):
+        """Vector of per-slot delivered joules (fast path).
+
+        With ``n_slots`` the vector is truncated or zero-padded to that
+        length.  Padded slots deliver exactly 0.0 J — no supplemental
+        trickle either — mirroring the scalar simulator, which stops
+        harvesting (and supplementing) once the trace runs out.
+        """
+        vec = (
             self.trace.slot_energies(slot_duration_s) * self.efficiency * self.gain
             + self.supplemental_w * slot_duration_s
         )
+        if n_slots is None:
+            return vec
+        if n_slots < 0:
+            raise EnergyModelError(f"n_slots must be >= 0, got {n_slots}")
+        if vec.size >= n_slots:
+            return vec[:n_slots].copy()
+        out = np.zeros(n_slots, dtype=np.float64)
+        out[: vec.size] = vec
+        return out
 
     @property
     def average_power_w(self) -> float:

@@ -89,6 +89,22 @@ class NonVolatileProcessor:
         return self._aborted_tasks
 
     @property
+    def useful_fraction(self) -> float:
+        """Fraction of each consumed joule that becomes progress."""
+        return 1.0 - self.checkpoint_overhead
+
+    @property
+    def done_work_j(self) -> float:
+        """Useful joules banked toward the in-flight task (0 when idle).
+
+        Scan-friendly counterpart of :attr:`progress_fraction`: the
+        vectorized kernel seeds its per-lane progress column from this.
+        """
+        if self._state is not TaskState.IN_PROGRESS:
+            return 0.0
+        return self._done_work_j
+
+    @property
     def remaining_work_j(self) -> float:
         """Useful joules still required to finish the in-flight task."""
         if self._state is not TaskState.IN_PROGRESS:
@@ -132,6 +148,10 @@ class NonVolatileProcessor:
         consumed = min(available_j, needed_j)
         progressed = consumed * useful_fraction
         self._done_work_j += progressed
+        # Snapshot the fraction while the task is still IN_PROGRESS: the
+        # completing burst finalizes state below, after which
+        # ``progress_fraction`` reads 0.0 and traces would lie.
+        fraction = self._done_work_j / self._total_work_j
 
         if self._done_work_j >= self._total_work_j - 1e-15:
             self._state = TaskState.COMPLETED
@@ -143,6 +163,7 @@ class NonVolatileProcessor:
             if self.volatile:
                 # The burst ends in a power failure; everything is lost.
                 self._done_work_j = 0.0
+                fraction = 0.0
             outcome = BurstOutcome(consumed, progressed, False)
         if self.observer is not None:
             self.observer(
@@ -151,7 +172,7 @@ class NonVolatileProcessor:
                     "consumed_j": outcome.consumed_j,
                     "progressed_j": outcome.progressed_j,
                     "completed": outcome.completed,
-                    "progress_fraction": self.progress_fraction,
+                    "progress_fraction": fraction,
                 },
             )
         return outcome

@@ -99,24 +99,41 @@ class PowerTrace:
         start = slot_index * slot_duration_s
         return self.energy_between(start, start + slot_duration_s)
 
-    def slot_energies(self, slot_duration_s: float) -> np.ndarray:
+    def slot_energies(
+        self, slot_duration_s: float, *, n_slots: Optional[int] = None
+    ) -> np.ndarray:
         """Vector of per-slot harvested joules for the whole trace.
 
         Fast path used by the simulator: requires the slot duration to
         be an integer multiple of ``dt_s`` (within rounding).
+
+        With ``n_slots`` the vector is truncated or zero-padded to
+        exactly that length — the scan-friendly form the vectorized
+        kernel consumes.  Slots beyond the trace harvest exactly 0.0 J,
+        matching the scalar simulator's out-of-range fallback.
         """
         check_positive("slot_duration_s", slot_duration_s)
         samples_per_slot = slot_duration_s / self.dt_s
         rounded = int(round(samples_per_slot))
         if rounded < 1 or abs(samples_per_slot - rounded) > 1e-9:
             # Fall back to exact integration.
-            n_slots = int(self.duration_s // slot_duration_s)
-            return np.array(
-                [self.slot_energy(index, slot_duration_s) for index in range(n_slots)]
+            covered = int(self.duration_s // slot_duration_s)
+            vec = np.array(
+                [self.slot_energy(index, slot_duration_s) for index in range(covered)]
             )
-        n_slots = self.watts.size // rounded
-        trimmed = self.watts[: n_slots * rounded].reshape(n_slots, rounded)
-        return trimmed.sum(axis=1) * self.dt_s
+        else:
+            covered = self.watts.size // rounded
+            trimmed = self.watts[: covered * rounded].reshape(covered, rounded)
+            vec = trimmed.sum(axis=1) * self.dt_s
+        if n_slots is None:
+            return vec
+        if n_slots < 0:
+            raise EnergyModelError(f"n_slots must be >= 0, got {n_slots}")
+        if vec.size >= n_slots:
+            return vec[:n_slots].copy()
+        out = np.zeros(n_slots, dtype=np.float64)
+        out[: vec.size] = vec
+        return out
 
     def scaled(self, factor: float) -> "PowerTrace":
         """A copy with every sample multiplied by ``factor`` (>= 0)."""

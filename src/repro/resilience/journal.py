@@ -158,6 +158,7 @@ def encode_experiment_result(result: ExperimentResult) -> Dict[str, Any]:
                 "harvested_j": float(stats.harvested_j),
                 "consumed_j": float(stats.consumed_j),
                 "comm_j": float(stats.comm_j),
+                "leaked_j": float(stats.leaked_j),
             }
             for node_id, stats in result.node_stats.items()
         },

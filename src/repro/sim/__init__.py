@@ -9,17 +9,20 @@
 * :mod:`repro.sim.personalization` — the Fig. 6 adaptation study;
 * :mod:`repro.sim.sweep` — policy grids for Figs. 4/5 and Table I;
 * :mod:`repro.sim.predcache` — the per-seed material shared by every
-  policy of a sweep (timeline, windows, batched softmax).
+  policy of a sweep (timeline, windows, batched softmax);
+* :mod:`repro.sim.kernel` — the structure-of-arrays vectorized slot
+  engine eligible runs are routed through (byte-identical, much faster).
 """
 
 from repro.sim.training import TrainedLocationModel, TrainedSensorBundle, TrainingConfig
 from repro.sim.results import CompletionBreakdown, ExperimentResult, SlotRecord
 from repro.sim.experiment import HARExperiment, SimulationConfig
+from repro.sim.kernel import SlotKernel, kernel_eligible, run_node_schedule, run_policy_batch
 from repro.sim.predcache import PredictionCache, RunMaterial, build_run_material
 from repro.sim.baselines import BaselineResult, evaluate_baseline, per_sensor_accuracy
 from repro.sim.completion import CompletionExperiment, CompletionStudyResult
 from repro.sim.personalization import PersonalizationExperiment, PersonalizationResult
-from repro.sim.sweep import PolicySweep, SweepResult
+from repro.sim.sweep import PolicySweep, SweepResult, paper_policy_grid
 
 __all__ = [
     "TrainedLocationModel",
@@ -30,6 +33,10 @@ __all__ = [
     "SlotRecord",
     "HARExperiment",
     "SimulationConfig",
+    "SlotKernel",
+    "kernel_eligible",
+    "run_node_schedule",
+    "run_policy_batch",
     "PredictionCache",
     "RunMaterial",
     "build_run_material",
@@ -42,4 +49,5 @@ __all__ = [
     "PersonalizationResult",
     "PolicySweep",
     "SweepResult",
+    "paper_policy_grid",
 ]

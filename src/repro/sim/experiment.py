@@ -282,6 +282,7 @@ class HARExperiment:
         faults: Optional[FaultPlan] = None,
         material: Optional[RunMaterial] = None,
         obs: Optional[Observability] = None,
+        kernel: Optional[bool] = None,
     ) -> ExperimentResult:
         """Simulate ``policy`` and return the full result.
 
@@ -328,6 +329,16 @@ class HARExperiment:
             wall-time profiles of the hot paths.  The default is the
             zero-overhead :data:`~repro.obs.NULL_OBS`: untraced runs
             are bit-identical to pre-instrumentation output.
+        kernel:
+            Route the run through the vectorized
+            :mod:`repro.sim.kernel` slot engine.  ``None`` (default)
+            and ``True`` take the kernel whenever the run is eligible
+            (precomputed softmax, no window transform, no observability,
+            no effective faults — see
+            :func:`repro.sim.kernel.kernel_eligible`); ineligible runs
+            fall back to the scalar loop either way, whose output the
+            kernel is byte-identical to.  ``False`` forces the scalar
+            path (the bisection/benchmark baseline).
         """
         if failures is not None:
             warnings.warn(
@@ -380,6 +391,32 @@ class HARExperiment:
                 subject=subject,
             )
         labels = material.labels
+
+        # Vectorized fast path: when the run needs nothing the kernel
+        # cannot model (see repro.sim.kernel's scalar-fallback rules),
+        # a batch of one replaces the python slot loop — byte-identical
+        # results, measured in BENCH_kernel.json.
+        if kernel is not False:
+            from repro.sim.kernel import kernel_eligible, run_policy_batch
+
+            if kernel_eligible(
+                material=material,
+                window_transform=window_transform,
+                faults=faults,
+                obs=obs,
+            ):
+                logger.debug(
+                    "run via kernel: policy=%s seed=%d", policy.name, run_seed
+                )
+                return run_policy_batch(
+                    self,
+                    [policy],
+                    run_seed,
+                    material=material,
+                    subject=subject,
+                    config=config,
+                    confidence_matrices=[confidence_matrix],
+                )[0]
 
         # Network.
         nodes = self._build_nodes(factory, config)
@@ -635,3 +672,4 @@ class HARExperiment:
             metrics.inc(f"{prefix}.harvested_j", stats.harvested_j)
             metrics.inc(f"{prefix}.consumed_j", stats.consumed_j)
             metrics.inc(f"{prefix}.comm_j", stats.comm_j)
+            metrics.inc(f"{prefix}.leaked_j", stats.leaked_j)

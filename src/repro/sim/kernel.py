@@ -1,0 +1,697 @@
+"""Structure-of-arrays vectorized per-slot simulation kernel.
+
+The ROADMAP's hot path is the per-slot energy/harvest/progress update:
+``SensorNode.harvest`` + ``SensorNode._active_slot`` +
+``NonVolatileProcessor.execute_burst``, stepped slot by slot in python
+for every run of a sweep.  This module rewrites that physics as a
+structure-of-arrays scan: one *lane* per (run, node) pair, one numpy
+statement per capacitor/NVP rule, advancing every lane of a batch in
+lockstep over a shared ``(n_lanes, n_slots)`` harvest timeline.
+
+Two stages:
+
+* :func:`run_node_schedule` (stage 1) drives a single node through a
+  fixed activation schedule — the python slot loop replaced by the
+  kernel, producing the same :class:`~repro.wsn.node.InferenceOutcome`
+  stream and :class:`~repro.wsn.node.NodeStats`.
+* :func:`run_policy_batch` (stage 2) advances *many runs at once*: every
+  policy of a sweep cell shares one batched timeline, while the
+  schedulers, host devices, voting and confidence matrices remain the
+  real python objects, fed per-run from the lane state.
+
+Byte-identity contract
+----------------------
+The kernel performs **elementwise-identical IEEE float64 operations in
+the same per-lane order** as the scalar path (deposit → leak → idle →
+stale-abort → sense → burst → complete/wipe → comm draw), so results are
+byte-identical — not merely close — to ``HARExperiment.run``'s scalar
+loop.  This is asserted by tests and the ``bench_perf_sweep --kernel``
+gate.  Two consequences shape the design:
+
+* The slot loop itself stays in python: capacitor clamping makes each
+  slot's state a two-sided ``min``/``max`` function of the previous
+  slot's, which has no closed form that reproduces float ordering.
+  Vectorization happens across *lanes*, not slots.
+* Everything with cross-node or cross-slot feedback (scheduling, host
+  recall, voting, confidence adaptation, link accounting) is executed by
+  the unmodified python objects, so identity holds by construction.
+
+Scalar-fallback rules
+---------------------
+The kernel only takes runs it can reproduce exactly; everything else
+falls back to the scalar path (see :func:`kernel_eligible`): runs with
+observability enabled (per-slot timers/traces instrument the scalar
+objects), a window transform (per-slot model inference), no precomputed
+softmax, or a non-empty fault plan (fault engines drive node state
+imperatively).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ensemble.voting import MajorityVote
+from repro.core.policies import PolicySpec
+from repro.core.scheduling.base import SchedulingContext
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.predcache import RunMaterial, build_run_material, default_subject
+from repro.sim.results import ExperimentResult, SlotRecord
+from repro.utils.rng import SeedSequenceFactory
+from repro.wsn.comm import CommLink
+from repro.wsn.host import HostDevice
+from repro.wsn.node import InferenceOutcome, NodeStats, SensorNode
+
+logger = logging.getLogger(__name__)
+
+
+def kernel_eligible(
+    *,
+    material: Optional[RunMaterial],
+    window_transform,
+    faults,
+    obs,
+) -> bool:
+    """Whether a run with these inputs can take the vectorized path.
+
+    The rules mirror the scalar features the kernel does not model (see
+    module docstring): any ``False`` here routes the run through the
+    scalar loop, whose output the kernel is byte-identical to whenever
+    both are possible.
+    """
+    if obs is not None and obs.enabled:
+        return False
+    if window_transform is not None:
+        return False
+    if material is None or material.probabilities is None:
+        return False
+    if faults is not None and not faults.is_empty:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class SlotEvents:
+    """What one :meth:`SlotKernel.advance` call did, per lane.
+
+    Boolean masks select lanes; the float arrays are zero outside their
+    mask.  ``started`` is only meaningful for lanes in ``active``.
+    """
+
+    active: np.ndarray  # bool: attempted an inference this slot
+    sense_fail: np.ndarray  # bool: could not afford the IMU sample
+    completed: np.ndarray  # bool: inference finished this slot
+    started: np.ndarray  # int64: slot whose window the attempt classifies
+    sense_paid: np.ndarray  # float64: IMU draw actually paid
+    burst_consumed: np.ndarray  # float64: NVP burst energy drawn
+    comm_paid: np.ndarray  # float64: radio draw actually paid
+
+
+class SlotKernel:
+    """Lane-parallel node physics over a shared slot timeline.
+
+    One lane = one (run, node) pair.  All per-lane parameters are
+    float64/bool/int64 arrays of shape ``(n_lanes,)``;
+    ``slot_energies`` is ``(n_lanes, n_slots)``.  Every update in
+    :meth:`advance` is the elementwise image of one scalar-path
+    statement, in the same order — see the module docstring's
+    byte-identity contract.
+    """
+
+    def __init__(
+        self,
+        *,
+        slot_energies: np.ndarray,
+        capacity_j: np.ndarray,
+        initial_j: np.ndarray,
+        leak_j: np.ndarray,
+        idle_j: np.ndarray,
+        sense_j: np.ndarray,
+        task_work_j: np.ndarray,
+        useful_fraction: np.ndarray,
+        volatile: np.ndarray,
+        comm_cost_j: np.ndarray,
+        max_task_age_slots: np.ndarray,
+    ) -> None:
+        self.slot_energies = np.ascontiguousarray(slot_energies, dtype=np.float64)
+        if self.slot_energies.ndim != 2:
+            raise SimulationError("slot_energies must be (n_lanes, n_slots)")
+        n_lanes = self.slot_energies.shape[0]
+
+        def lane_array(name: str, values, dtype=np.float64) -> np.ndarray:
+            array = np.ascontiguousarray(values, dtype=dtype)
+            if array.shape != (n_lanes,):
+                raise SimulationError(
+                    f"{name} must have shape ({n_lanes},), got {array.shape}"
+                )
+            return array
+
+        self.capacity_j = lane_array("capacity_j", capacity_j)
+        self.leak_j = lane_array("leak_j", leak_j)
+        self.idle_j = lane_array("idle_j", idle_j)
+        self.sense_j = lane_array("sense_j", sense_j)
+        self.task_work_j = lane_array("task_work_j", task_work_j)
+        self.useful_fraction = lane_array("useful_fraction", useful_fraction)
+        self.volatile = lane_array("volatile", volatile, dtype=bool)
+        self.comm_cost_j = lane_array("comm_cost_j", comm_cost_j)
+        self.max_task_age_slots = lane_array("max_task_age_slots", max_task_age_slots)
+        # Same expressions as Capacitor.__init__ clamping and
+        # SensorNode.can_start_inference / NVP's completion check.
+        self.stored = np.minimum(lane_array("initial_j", initial_j), self.capacity_j)
+        self.ready_threshold = self.sense_j + self.task_work_j / self.useful_fraction
+        self._complete_at = self.task_work_j - 1e-15
+
+        self.n_lanes = n_lanes
+        self.n_slots = self.slot_energies.shape[1]
+        self.done_work = np.zeros(n_lanes, dtype=np.float64)
+        self.pending_slot = np.full(n_lanes, -1, dtype=np.int64)
+        self.in_progress = np.zeros(n_lanes, dtype=bool)
+
+        # NodeStats counters, accumulated in the scalar path's per-slot
+        # addition order so float sums match bit for bit.
+        self.slots = np.zeros(n_lanes, dtype=np.int64)
+        self.active_slots = np.zeros(n_lanes, dtype=np.int64)
+        self.attempts_started = np.zeros(n_lanes, dtype=np.int64)
+        self.completions = np.zeros(n_lanes, dtype=np.int64)
+        self.failed_active_slots = np.zeros(n_lanes, dtype=np.int64)
+        self.harvested_j = np.zeros(n_lanes, dtype=np.float64)
+        self.consumed_j = np.zeros(n_lanes, dtype=np.float64)
+        self.comm_j = np.zeros(n_lanes, dtype=np.float64)
+        self.leaked_j = np.zeros(n_lanes, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_nodes(
+        cls, nodes: Sequence[SensorNode], *, n_runs: int, n_slots: int
+    ) -> "SlotKernel":
+        """Lanes for ``n_runs`` identical runs over freshly built nodes.
+
+        Lane ``r * len(nodes) + k`` is run ``r``'s copy of ``nodes[k]``.
+        The nodes must be untouched templates (e.g. fresh from
+        ``HARExperiment._build_nodes``): their current capacitor charge
+        seeds every run's initial state.
+        """
+        if n_runs < 1:
+            raise SimulationError(f"n_runs must be >= 1, got {n_runs}")
+        base = np.stack([node.slot_energy_vector(n_slots) for node in nodes])
+
+        def tiled(values, dtype=np.float64) -> np.ndarray:
+            return np.tile(np.asarray(values, dtype=dtype), n_runs)
+
+        return cls(
+            slot_energies=np.tile(base, (n_runs, 1)),
+            capacity_j=tiled([n.capacitor.capacity_j for n in nodes]),
+            initial_j=tiled([n.capacitor.stored_j for n in nodes]),
+            leak_j=tiled([n.capacitor.leakage_w * n.slot_duration_s for n in nodes]),
+            idle_j=tiled([n.costs.idle_j for n in nodes]),
+            sense_j=tiled([n.costs.sense_j for n in nodes]),
+            task_work_j=tiled([n.inference_energy_j for n in nodes]),
+            useful_fraction=tiled([n.nvp.useful_fraction for n in nodes]),
+            volatile=tiled([n.nvp.volatile for n in nodes], dtype=bool),
+            comm_cost_j=tiled(
+                [n.comm.message_cost_j(n.costs.result_message_bytes) for n in nodes]
+            ),
+            max_task_age_slots=tiled(
+                [
+                    np.inf if n.max_task_age_slots is None else float(n.max_task_age_slots)
+                    for n in nodes
+                ]
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # per-slot scan
+    # ------------------------------------------------------------------
+
+    def ready_mask(self) -> np.ndarray:
+        """Per-lane ``SensorNode.can_start_inference()``."""
+        return self.stored >= self.ready_threshold
+
+    def advance(self, slot: int, active: np.ndarray) -> SlotEvents:
+        """Advance every lane one slot; ``active`` lanes attempt work.
+
+        Each block below is the vectorized image of one scalar-path
+        statement (cited in comments), applied in the same order.
+        """
+        stored = self.stored
+
+        # SensorNode.harvest: deposit -> leak -> idle draw.
+        energy = self.slot_energies[:, slot]
+        accepted = np.minimum(energy, self.capacity_j - stored)
+        stored += accepted
+        lost = np.minimum(self.leak_j, stored)
+        stored -= lost
+        idle = np.minimum(self.idle_j, stored)
+        stored -= idle
+        self.harvested_j += accepted
+        self.consumed_j += idle
+        self.leaked_j += lost
+        self.slots += 1
+
+        self.active_slots += active
+
+        # Stale in-flight tasks expire before anything runs
+        # (SensorNode._active_slot's max_task_age_slots check); the lane
+        # then falls through to a fresh sense like the scalar path.
+        stale = active & self.in_progress & (
+            (slot - self.pending_slot) >= self.max_task_age_slots
+        )
+        if stale.any():
+            self.in_progress &= ~stale
+            self.done_work[stale] = 0.0
+            self.pending_slot[stale] = -1
+
+        # Fresh inference: sense the current window first.
+        fresh = active & ~self.in_progress
+        sense_paid = np.where(fresh, np.minimum(self.sense_j, stored), 0.0)
+        stored -= sense_paid
+        self.consumed_j += sense_paid
+        sense_fail = fresh & (sense_paid < self.sense_j)
+        started_ok = fresh & ~sense_fail
+        self.pending_slot[started_ok] = slot
+        self.done_work[started_ok] = 0.0
+        self.in_progress |= started_ok
+        self.attempts_started += started_ok
+
+        # NVP.execute_burst: consume up to what remaining work (plus
+        # checkpoint overhead) requires, bank the useful fraction.
+        bursting = active & self.in_progress
+        needed = (self.task_work_j - self.done_work) / self.useful_fraction
+        burst = np.where(bursting, np.minimum(stored, needed), 0.0)
+        stored -= burst
+        self.consumed_j += burst
+        self.done_work += np.where(bursting, burst * self.useful_fraction, 0.0)
+
+        completed = bursting & (self.done_work >= self._complete_at)
+        incomplete = bursting & ~completed
+        self.failed_active_slots += sense_fail
+        self.failed_active_slots += incomplete
+
+        # Outcome provenance before state is finalized: the slot whose
+        # window each attempt classifies.
+        started = np.where(sense_fail, slot, self.pending_slot)
+
+        # Volatile MCUs lose an unfinished burst's progress entirely.
+        wiped = incomplete & self.volatile
+        if wiped.any():
+            self.done_work[wiped] = 0.0
+            self.in_progress &= ~wiped
+            self.pending_slot[wiped] = -1
+
+        # Completion: acknowledge, then pay for the result message.
+        self.completions += completed
+        self.in_progress &= ~completed
+        self.done_work[completed] = 0.0
+        self.pending_slot[completed] = -1
+        comm_paid = np.where(completed, np.minimum(self.comm_cost_j, stored), 0.0)
+        stored -= comm_paid
+        self.comm_j += comm_paid
+        self.consumed_j += comm_paid
+
+        return SlotEvents(
+            active=active,
+            sense_fail=sense_fail,
+            completed=completed,
+            started=started,
+            sense_paid=sense_paid,
+            burst_consumed=burst,
+            comm_paid=comm_paid,
+        )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def lane_stats(self, lane: int) -> NodeStats:
+        """One lane's counters as a plain-python :class:`NodeStats`."""
+        return NodeStats(
+            slots=int(self.slots[lane]),
+            active_slots=int(self.active_slots[lane]),
+            attempts_started=int(self.attempts_started[lane]),
+            completions=int(self.completions[lane]),
+            failed_active_slots=int(self.failed_active_slots[lane]),
+            harvested_j=float(self.harvested_j[lane]),
+            consumed_j=float(self.consumed_j[lane]),
+            comm_j=float(self.comm_j[lane]),
+            leaked_j=float(self.leaked_j[lane]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# stage 1: one node, fixed schedule
+# ---------------------------------------------------------------------------
+
+
+def run_node_schedule(
+    node: SensorNode,
+    schedule: Sequence[bool],
+    *,
+    mutate_comm: bool = True,
+):
+    """Drive one node through a fixed activation schedule via the kernel.
+
+    The vectorized replacement for::
+
+        for slot in range(n_slots):
+            if schedule[slot]:
+                outcomes.append(node.active_slot(slot, window))
+            else:
+                node.idle_slot(slot)
+
+    ``node`` must be freshly built (its capacitor charge seeds the lane)
+    and must carry a ``prediction_cache`` — the kernel never runs the
+    model.  Returns ``(outcomes, stats)``; the node's own capacitor/NVP
+    state is left untouched.  With ``mutate_comm`` (default) completed
+    results go through ``node.comm.transmit`` so the link's message and
+    energy counters advance exactly as in the scalar loop.
+    """
+    if node.prediction_cache is None:
+        raise ConfigurationError(
+            "run_node_schedule needs node.prediction_cache (the kernel "
+            "does not run models); install the run material's softmax first"
+        )
+    mask = np.asarray(schedule, dtype=bool)
+    n_slots = mask.size
+    kernel = SlotKernel.from_nodes([node], n_runs=1, n_slots=n_slots)
+    probabilities = node.prediction_cache
+    predicted = probabilities.argmax(axis=1)
+    confidences = np.var(probabilities, axis=1)
+
+    outcomes: List[InferenceOutcome] = []
+    active = np.zeros(1, dtype=bool)
+    for slot in range(n_slots):
+        active[0] = mask[slot]
+        events = kernel.advance(slot, active)
+        if not active[0]:
+            continue
+        outcomes.append(
+            _lane_outcome(
+                events,
+                0,
+                node_id=node.node_id,
+                location=node.location,
+                slot=slot,
+                probabilities=probabilities,
+                predicted=predicted,
+                confidences=confidences,
+                comm=node.comm if mutate_comm else CommLink(node.comm.profile),
+                result_message_bytes=node.costs.result_message_bytes,
+            )
+        )
+    return outcomes, kernel.lane_stats(0)
+
+
+def _lane_outcome(
+    events: SlotEvents,
+    lane: int,
+    *,
+    node_id: int,
+    location,
+    slot: int,
+    probabilities: np.ndarray,
+    predicted: np.ndarray,
+    confidences: np.ndarray,
+    comm: CommLink,
+    result_message_bytes: int,
+) -> InferenceOutcome:
+    """Materialize one active lane's slot outcome (scalar field order)."""
+    if events.sense_fail[lane]:
+        return InferenceOutcome(
+            node_id, location, slot, slot, False,
+            energy_consumed_j=float(events.sense_paid[lane]),
+        )
+    if not events.completed[lane]:
+        return InferenceOutcome(
+            node_id, location, slot, int(events.started[lane]), False,
+            energy_consumed_j=float(events.burst_consumed[lane]),
+        )
+    started_slot = int(events.started[lane])
+    label = int(predicted[started_slot])
+    # The real link transmits, so message/energy counters (and any
+    # delivery hook, though eligible runs have none) match the scalar
+    # path; the capacitor-side draw already happened in advance().
+    sent = comm.transmit(result_message_bytes, slot, label)
+    return InferenceOutcome(
+        node_id=node_id,
+        location=location,
+        slot_index=slot,
+        started_slot=started_slot,
+        completed=True,
+        predicted_label=label,
+        probabilities=probabilities[started_slot],
+        confidence=float(confidences[started_slot]),
+        energy_consumed_j=float(events.burst_consumed[lane] + events.comm_paid[lane]),
+        delivered=sent.delivery.delivered,
+        reported_label=(sent.delivery.label if sent.delivery.corrupted else None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# stage 2: batched policy runs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RunState:
+    """The real python objects of one policy run, fed from lane state."""
+
+    spec: PolicySpec
+    scheduler: object
+    host: HostDevice
+    confidence: object
+    comms: List[CommLink]
+    result: ExperimentResult
+    confidence_updates_before: int
+    last_final: Optional[int] = None
+    active_ids: List[int] = field(default_factory=list)
+
+
+def run_policy_batch(
+    experiment,
+    policies: Sequence[PolicySpec],
+    seed: int,
+    *,
+    material: Optional[RunMaterial] = None,
+    subject=None,
+    config=None,
+    confidence_matrices: Optional[Sequence] = None,
+) -> List[ExperimentResult]:
+    """Run every policy for one seed on a single batched timeline.
+
+    The stage-2 entry point: ``len(policies)`` runs advance in lockstep
+    as lanes of one :class:`SlotKernel` (they share the seed's traces
+    and material), while each run keeps its own scheduler, host, voting,
+    confidence matrix and comm links — the scalar objects, driven
+    per-slot from the lane arrays.  Returns one
+    :class:`~repro.sim.results.ExperimentResult` per policy, in order,
+    byte-identical to ``experiment.run(policy, seed=seed, ...)``.
+
+    ``confidence_matrices`` optionally supplies (and mutates!) one
+    matrix per policy, mirroring ``run(confidence_matrix=...)``; use
+    ``None`` entries for the default fresh copies.
+    """
+    policies = list(policies)
+    if not policies:
+        return []
+    config = config if config is not None else experiment.config
+    run_seed = int(seed)
+    dataset_spec = experiment.dataset.spec
+    subject = subject or default_subject(experiment.dataset)
+    if confidence_matrices is None:
+        confidence_matrices = [None] * len(policies)
+    elif len(confidence_matrices) != len(policies):
+        raise ConfigurationError(
+            f"confidence_matrices must match policies "
+            f"({len(confidence_matrices)} != {len(policies)})"
+        )
+
+    if material is None:
+        material = build_run_material(
+            experiment.dataset,
+            experiment.bundle,
+            run_seed,
+            n_windows=config.n_windows,
+            dwell_scale=config.dwell_scale,
+            use_pruned_models=config.use_pruned_models,
+            subject=subject,
+            with_predictions=True,
+        )
+    else:
+        material.check_compatible(
+            seed=run_seed,
+            n_windows=config.n_windows,
+            dwell_scale=config.dwell_scale,
+            use_pruned_models=config.use_pruned_models,
+            subject=subject,
+        )
+    if material.probabilities is None:
+        raise ConfigurationError(
+            "the kernel needs material with precomputed softmax "
+            "(build_run_material(with_predictions=True))"
+        )
+
+    # The seed's node templates: same factory stream as the scalar path,
+    # so traces/capacitors/NVPs carry identical parameters.
+    factory = SeedSequenceFactory(run_seed)
+    nodes = experiment._build_nodes(factory, config)
+    node_ids = [node.node_id for node in nodes]
+    n_nodes = len(nodes)
+    n_runs = len(policies)
+    n_slots = config.n_windows
+    kernel = SlotKernel.from_nodes(nodes, n_runs=n_runs, n_slots=n_slots)
+    class_predictions = material.class_predictions()
+    true_labels = [dataset_spec.label_of(label) for label in material.labels]
+
+    runs: List[_RunState] = []
+    for spec, matrix in zip(policies, confidence_matrices):
+        if matrix is not None:
+            confidence = matrix
+        else:
+            alpha = (
+                experiment.bundle.confidence_matrix.adaptation_alpha
+                if spec.adaptive_confidence
+                else 0.0
+            )
+            confidence = experiment.bundle.confidence_matrix.copy(
+                adaptation_alpha=alpha
+            )
+        host = HostDevice(
+            experiment._make_vote(spec, confidence)
+            if spec.uses_recall
+            else MajorityVote(),
+            max_recall_age_slots=config.max_recall_age_slots,
+            staleness_half_life_slots=None,
+        )
+        scheduler = spec.make_scheduler(node_ids, experiment.bundle.rank_table)
+        scheduler.reset()
+        runs.append(
+            _RunState(
+                spec=spec,
+                scheduler=scheduler,
+                host=host,
+                confidence=confidence,
+                comms=[CommLink(config.radio) for _ in nodes],
+                result=ExperimentResult(
+                    policy_name=spec.name,
+                    activities=list(dataset_spec.activities),
+                ),
+                confidence_updates_before=confidence.updates,
+            )
+        )
+
+    logger.debug(
+        "kernel batch: %d policies x %d nodes x %d slots (seed=%d)",
+        n_runs, n_nodes, n_slots, run_seed,
+    )
+
+    stored = kernel.stored
+    active_mask = np.zeros(kernel.n_lanes, dtype=bool)
+    lane_of = {
+        (r, node_id): r * n_nodes + k
+        for r in range(n_runs)
+        for k, node_id in enumerate(node_ids)
+    }
+    for slot in range(n_slots):
+        # Scheduling: the real scheduler objects, fed per-run contexts
+        # assembled from the lane arrays (the scalar path's dicts).
+        ready = kernel.ready_mask()
+        active_mask[:] = False
+        for r, run in enumerate(runs):
+            base = r * n_nodes
+            context = SchedulingContext(
+                node_energy_j={
+                    node_ids[k]: float(stored[base + k]) for k in range(n_nodes)
+                },
+                node_ready={
+                    node_ids[k]: bool(ready[base + k]) for k in range(n_nodes)
+                },
+                anticipated_label=run.last_final,
+                node_responsive={},
+            )
+            run.active_ids = list(run.scheduler.active_nodes(slot, context))
+            for node_id in run.active_ids:
+                active_mask[lane_of[r, node_id]] = True
+
+        events = kernel.advance(slot, active_mask)
+
+        # Epilogue: per run, materialize outcomes in node (construction)
+        # order and drive host/confidence/scheduler exactly as the
+        # scalar loop does.
+        for r, run in enumerate(runs):
+            base = r * n_nodes
+            outcomes: List[InferenceOutcome] = []
+            for k, node in enumerate(nodes):
+                lane = base + k
+                if not active_mask[lane]:
+                    continue
+                predicted, confidences = class_predictions[node.node_id]
+                outcome = _lane_outcome(
+                    events,
+                    lane,
+                    node_id=node.node_id,
+                    location=node.location,
+                    slot=slot,
+                    probabilities=material.probabilities[node.node_id],
+                    predicted=predicted,
+                    confidences=confidences,
+                    comm=run.comms[k],
+                    result_message_bytes=node.costs.result_message_bytes,
+                )
+                outcomes.append(outcome)
+                if outcome.completed and outcome.delivered:
+                    run.host.receive(outcome)
+
+            if run.spec.adaptive_confidence:
+                for outcome in outcomes:
+                    if outcome.completed and outcome.delivered:
+                        run.confidence.update(
+                            outcome.node_id,
+                            outcome.delivered_label,
+                            outcome.confidence,
+                        )
+
+            if run.spec.uses_recall:
+                final = run.host.classify(slot)
+            else:
+                completed = [o for o in outcomes if o.completed and o.delivered]
+                if completed:
+                    run.last_final = completed[-1].delivered_label
+                final = run.last_final
+            if final is not None:
+                run.last_final = final
+
+            run.scheduler.observe(
+                slot, [o for o in outcomes if o.delivered], final
+            )
+            run.result.records.append(
+                SlotRecord(
+                    slot_index=slot,
+                    true_label=true_labels[slot],
+                    predicted_label=final,
+                    active_nodes=tuple(run.active_ids),
+                    completions=sum(1 for o in outcomes if o.completed),
+                    attempts=len(outcomes),
+                    dropped_messages=sum(
+                        1 for o in outcomes if o.completed and not o.delivered
+                    ),
+                )
+            )
+
+    results: List[ExperimentResult] = []
+    for r, run in enumerate(runs):
+        base = r * n_nodes
+        run.result.node_stats = {
+            node_ids[k]: kernel.lane_stats(base + k) for k in range(n_nodes)
+        }
+        run.result.comm_energy_j = sum(link.energy_spent_j for link in run.comms)
+        run.result.confidence_updates = (
+            run.confidence.updates - run.confidence_updates_before
+        )
+        results.append(run.result)
+    return results

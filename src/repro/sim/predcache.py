@@ -25,6 +25,7 @@ cached, uncached (per-run rebuilt) and parallel runs are byte-identical
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -85,6 +86,32 @@ class RunMaterial:
     styles: List[StyleWobble]
     windows: Dict[int, np.ndarray]
     probabilities: Optional[Dict[int, np.ndarray]] = None
+    _class_predictions: Optional[Dict[int, tuple]] = dataclasses_field(
+        default=None, repr=False, compare=False
+    )
+
+    def class_predictions(self) -> Dict[int, tuple]:
+        """``{node id: (argmax labels, variance confidences)}`` (lazy).
+
+        The scan-friendly face of :attr:`probabilities` for the
+        vectorized kernel: per-slot predicted label and
+        variance-of-softmax confidence, computed once with batched
+        ``argmax``/``var`` calls that are byte-identical to the scalar
+        path's per-row ``argmax()`` / ``confidence_from_softmax``.
+        Memoized on the material, so one computation serves every
+        policy of a sweep cell (and every batch of a seed).
+        """
+        if self.probabilities is None:
+            raise ConfigurationError(
+                "material was built without predictions; the kernel "
+                "needs build_run_material(with_predictions=True)"
+            )
+        if self._class_predictions is None:
+            self._class_predictions = {
+                node_id: (probs.argmax(axis=1), np.var(probs, axis=1))
+                for node_id, probs in self.probabilities.items()
+            }
+        return self._class_predictions
 
     def check_compatible(
         self,

@@ -178,6 +178,17 @@ class PolicySweep:
         across every policy (default).  ``False`` rebuilds the material
         per run — byte-identical results, just slower; kept as the
         benchmark baseline and as a bisection tool.
+    use_kernel:
+        Route eligible runs through the vectorized
+        :mod:`repro.sim.kernel` slot engine.  ``None`` (default) and
+        ``True`` enable it: with the prediction cache on and no
+        observability, each seed's pending policies run as one batched
+        :func:`~repro.sim.kernel.run_policy_batch` (sharing a single
+        ``(n_runs, n_slots)`` timeline); otherwise each run decides
+        individually via ``HARExperiment.run(kernel=...)``'s
+        eligibility rules.  ``False`` forces the scalar slot loop
+        everywhere — the bisection/benchmark baseline.  All modes are
+        byte-identical.
     worker_rehydrate:
         How ``run(workers=N)`` ships the trained bundle to worker
         processes.  ``None`` (default, auto): when the experiment's
@@ -199,6 +210,7 @@ class PolicySweep:
         n_seeds: int = 1,
         include_baselines: bool = True,
         use_prediction_cache: bool = True,
+        use_kernel: Optional[bool] = None,
         worker_rehydrate: Optional[bool] = None,
     ) -> None:
         if n_seeds < 1:
@@ -207,6 +219,7 @@ class PolicySweep:
         self.n_seeds = int(n_seeds)
         self.include_baselines = bool(include_baselines)
         self.use_prediction_cache = bool(use_prediction_cache)
+        self.use_kernel = use_kernel
         self.worker_rehydrate = worker_rehydrate
 
     def run(
@@ -361,7 +374,10 @@ class PolicySweep:
         """Seed-major loop: one material build serves every policy.
 
         Journal hits skip both the run and — when a whole seed is
-        already journaled — that seed's material build.
+        already journaled — that seed's material build.  With the
+        prediction cache on (and no observability) a seed's pending
+        policies run as one batched kernel call; a batch failure falls
+        back to the per-run loop so salvage semantics stay per-cell.
         """
         cache = (
             PredictionCache(self.experiment, obs=obs)
@@ -371,10 +387,13 @@ class PolicySweep:
         runs: Dict[str, List[Optional[ExperimentResult]]] = {
             spec.name: [None] * self.n_seeds for spec in policies
         }
+        batchable = (
+            self.use_kernel is not False and cache is not None and not obs.enabled
+        )
         for offset in range(self.n_seeds):
             run_seed = base_seed + offset
             material = None
-            material_built = False
+            pending: List[PolicySpec] = []
             for spec in policies:
                 cell = policy_cell(spec, run_seed)
                 if journal is not None:
@@ -384,12 +403,31 @@ class PolicySweep:
                             obs.metrics.inc("resilience.journal.hit")
                         runs[spec.name][offset] = decode_experiment_result(payload)
                         continue
-                if cache is not None and not material_built:
-                    material = cache.material(run_seed)
-                    material_built = True
+                pending.append(spec)
+            if not pending:
+                continue
+
+            if batchable:
+                material = cache.material(run_seed)
+                batch = _kernel_batch(self.experiment, pending, run_seed, material)
+                if batch is not None:
+                    for spec, run in zip(pending, batch):
+                        if journal is not None:
+                            journal.record(
+                                policy_cell(spec, run_seed),
+                                encode_experiment_result(run),
+                            )
+                        runs[spec.name][offset] = run
+                    continue
+
+            if cache is not None and material is None:
+                material = cache.material(run_seed)
+            for spec in pending:
+                cell = policy_cell(spec, run_seed)
                 try:
                     run = self.experiment.run(
-                        spec, seed=run_seed, material=material, obs=obs
+                        spec, seed=run_seed, material=material, obs=obs,
+                        kernel=self.use_kernel,
                     )
                 except Exception as error:
                     if on_failure != "salvage":
@@ -571,7 +609,7 @@ class PolicySweep:
             available = store_key is not None and _store_has_entry(store_key)
             rehydrate = available if rehydrate is None else (rehydrate and available)
         if not rehydrate:
-            return (self.experiment, self.use_prediction_cache, None, None)
+            return (self.experiment, self.use_prediction_cache, None, None, self.use_kernel)
         stub = copy.copy(self.experiment)
         stub.bundle = None
         recipe = _BundleRecipe(
@@ -581,7 +619,7 @@ class PolicySweep:
             cost_model=bundle.cost_model,
         )
         logger.debug("parallel sweep workers rehydrate bundle from key %s", store_key)
-        return (stub, self.use_prediction_cache, store_key, recipe)
+        return (stub, self.use_prediction_cache, store_key, recipe, self.use_kernel)
 
     def _run_baseline(self, baseline: BaselineSpec, seed: int) -> BaselineResult:
         return evaluate_baseline(
@@ -615,12 +653,42 @@ class PolicySweep:
         return run
 
 
+def _kernel_batch(
+    experiment: HARExperiment,
+    specs: Sequence[PolicySpec],
+    seed: int,
+    material,
+) -> Optional[List[ExperimentResult]]:
+    """One seed's policies through the batched kernel, or ``None``.
+
+    ``None`` (material ineligible or the batch failed) tells the caller
+    to fall back to the per-run loop, which preserves per-cell error
+    semantics; kernel-vs-scalar identity means the fallback changes
+    nothing but speed.
+    """
+    from repro.sim.kernel import kernel_eligible, run_policy_batch
+
+    if not kernel_eligible(
+        material=material, window_transform=None, faults=None, obs=None
+    ):
+        return None
+    try:
+        return run_policy_batch(experiment, specs, seed, material=material)
+    except Exception as error:
+        logger.warning(
+            "kernel batch failed for seed %d (%s); falling back to scalar runs",
+            seed, error,
+        )
+        return None
+
+
 # ---------------------------------------------------------------------------
 # process-pool plumbing (module level so everything pickles)
 # ---------------------------------------------------------------------------
 
 _WORKER_EXPERIMENT: Optional[HARExperiment] = None
 _WORKER_CACHE: Optional[PredictionCache] = None
+_WORKER_USE_KERNEL: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -695,6 +763,7 @@ def _init_sweep_worker(
     use_prediction_cache: bool,
     store_key: Optional[str] = None,
     recipe: Optional[_BundleRecipe] = None,
+    use_kernel: Optional[bool] = None,
 ) -> None:
     """Install the (pickled-once) experiment in this worker process.
 
@@ -703,11 +772,12 @@ def _init_sweep_worker(
     from ``recipe`` if the entry vanished) before the prediction cache
     is built.
     """
-    global _WORKER_EXPERIMENT, _WORKER_CACHE
+    global _WORKER_EXPERIMENT, _WORKER_CACHE, _WORKER_USE_KERNEL
     if store_key is not None:
         experiment.bundle = _worker_bundle(experiment, store_key, recipe)
     _WORKER_EXPERIMENT = experiment
     _WORKER_CACHE = PredictionCache(experiment) if use_prediction_cache else None
+    _WORKER_USE_KERNEL = use_kernel
 
 
 def _run_sweep_unit(
@@ -733,10 +803,17 @@ def _run_sweep_unit(
     else:
         obs = NULL_OBS
     material = _WORKER_CACHE.material(seed) if _WORKER_CACHE is not None else None
-    runs = [
-        _WORKER_EXPERIMENT.run(spec, seed=seed, material=material, obs=obs)
-        for spec in specs
-    ]
+    runs = None
+    if _WORKER_USE_KERNEL is not False and material is not None and not with_obs:
+        runs = _kernel_batch(_WORKER_EXPERIMENT, specs, seed, material)
+    if runs is None:
+        runs = [
+            _WORKER_EXPERIMENT.run(
+                spec, seed=seed, material=material, obs=obs,
+                kernel=_WORKER_USE_KERNEL,
+            )
+            for spec in specs
+        ]
     if not with_obs:
         return runs, None, None
     return (

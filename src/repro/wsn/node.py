@@ -68,6 +68,7 @@ class NodeStats:
     harvested_j: float = 0.0
     consumed_j: float = 0.0
     comm_j: float = 0.0
+    leaked_j: float = 0.0
 
     @property
     def completion_rate(self) -> float:
@@ -231,15 +232,35 @@ class SensorNode:
             return float(self._slot_energies[slot_index])
         return 0.0
 
+    def slot_energy_vector(self, n_slots: int) -> np.ndarray:
+        """Per-slot harvest energy over ``n_slots`` slots (kernel feed).
+
+        Slots beyond the harvest trace contribute exactly 0.0 — the same
+        out-of-range fallback :meth:`_slot_harvest` applies, so a lane
+        fed from this vector sees byte-identical deposits.
+        """
+        if self._slot_energies is None:
+            self._slot_energies = self.harvester.slot_energies(self.slot_duration_s)
+        vec = np.asarray(self._slot_energies, dtype=np.float64)
+        if vec.size >= n_slots:
+            return vec[:n_slots].copy()
+        # Zero-pad past the trace end (same as the harvester's
+        # slot_energies(..., n_slots=...) scan-friendly form).
+        out = np.zeros(n_slots, dtype=np.float64)
+        out[: vec.size] = vec
+        return out
+
     def harvest(self, slot_index: int) -> float:
         """Harvest this slot's energy into the capacitor; returns joules."""
         energy = self._slot_harvest(slot_index)
         if self.harvest_gate is not None:
             energy *= self.harvest_gate(slot_index)
         accepted = self.capacitor.deposit(energy)
-        self.capacitor.leak(self.slot_duration_s)
-        self.capacitor.draw(min(self.costs.idle_j, self.capacitor.stored_j))
+        leaked = self.capacitor.leak(self.slot_duration_s)
+        idle = self.capacitor.draw(min(self.costs.idle_j, self.capacitor.stored_j))
         self.stats.harvested_j += accepted
+        self.stats.consumed_j += idle
+        self.stats.leaked_j += leaked
         self.stats.slots += 1
         return accepted
 
@@ -434,10 +455,17 @@ class SensorNode:
         return self.capacitor.stored_j >= needed
 
     def reset(self) -> None:
-        """Clear all mutable state (capacitor, NVP, stats, pending task)."""
+        """Clear all mutable state (capacitor, NVP, stats, pending task).
+
+        Also drops the cached per-slot harvest vector so a node reset
+        after a harvester swap/re-seed re-derives it instead of silently
+        replaying the old one.
+        """
         self.capacitor.reset()
         self.nvp.abort()
         self.stats = NodeStats()
         self.online = True
         self._pending_window = None
         self._pending_slot = None
+        self._slot_energies = None
+        self._current_slot = 0

@@ -164,8 +164,14 @@ class TestSalvage:
             full = reference.policy(spec.name)
             assert len(survived.records) * 2 == len(full.records)
 
-    def test_sequential_salvage_catches_cell_errors(self, sweep, tiny_experiment,
+    def test_sequential_salvage_catches_cell_errors(self, tiny_experiment,
                                                     monkeypatch):
+        # Inject the failure at experiment.run, so pin the sweep to the
+        # scalar per-cell path (the batched kernel path never calls it;
+        # its fallback salvage is covered in test_sim_kernel.py).
+        scalar_sweep = PolicySweep(
+            tiny_experiment, n_seeds=2, include_baselines=True, use_kernel=False
+        )
         real_run = type(tiny_experiment).run
 
         def flaky(self, spec, **kwargs):
@@ -174,7 +180,7 @@ class TestSalvage:
             return real_run(self, spec, **kwargs)
 
         monkeypatch.setattr(type(tiny_experiment), "run", flaky)
-        result = sweep.run(GRID, workers=1, on_failure="salvage")
+        result = scalar_sweep.run(GRID, workers=1, on_failure="salvage")
         report = result.degradation
         assert report is not None and report.failed_cells == 2  # both seeds
         assert GRID[0].name not in result.policies
@@ -183,15 +189,18 @@ class TestSalvage:
             "synthetic cell failure" in cell.cause for cell in report.failed
         )
 
-    def test_sequential_raise_propagates_original_error(self, sweep,
-                                                        tiny_experiment,
+    def test_sequential_raise_propagates_original_error(self, tiny_experiment,
                                                         monkeypatch):
+        scalar_sweep = PolicySweep(
+            tiny_experiment, n_seeds=2, include_baselines=True, use_kernel=False
+        )
+
         def broken(self, spec, **kwargs):
             raise RuntimeError("synthetic cell failure")
 
         monkeypatch.setattr(type(tiny_experiment), "run", broken)
         with pytest.raises(RuntimeError, match="synthetic cell failure"):
-            sweep.run(GRID, workers=1, on_failure="raise")
+            scalar_sweep.run(GRID, workers=1, on_failure="raise")
 
     def test_parallel_raise_reports_after_finishing(self, sweep):
         plan = ChaosPlan(actions={0: ChaosAction(kind="crash")})

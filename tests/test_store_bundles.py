@@ -218,7 +218,7 @@ class TestSweepRehydration:
 
     def test_initargs_prefer_rehydration(self, stored_experiment, monkeypatch):
         sweep = PolicySweep(stored_experiment, n_seeds=2, include_baselines=False)
-        experiment, use_cache, key, recipe = sweep._worker_initargs()
+        experiment, use_cache, key, recipe, _ = sweep._worker_initargs()
         assert key == stored_experiment.bundle.store_key
         assert experiment.bundle is None  # the stub ships without weights
         assert stored_experiment.bundle is not None  # original untouched
@@ -226,13 +226,13 @@ class TestSweepRehydration:
         assert recipe.config == stored_experiment.bundle.train_config
         # Disabled store → full pickle fallback.
         monkeypatch.setenv(ENV_STORE_SWITCH, "off")
-        experiment, _, key, recipe = sweep._worker_initargs()
+        experiment, _, key, recipe, _ = sweep._worker_initargs()
         assert key is None and recipe is None
         assert experiment.bundle is not None
 
     def test_initargs_pickle_without_provenance(self, tiny_experiment):
         sweep = PolicySweep(tiny_experiment, n_seeds=1, include_baselines=False)
-        experiment, _, key, recipe = sweep._worker_initargs()
+        experiment, _, key, recipe, _ = sweep._worker_initargs()
         assert key is None and recipe is None
         assert experiment is tiny_experiment
         # Forcing rehydration without a key still falls back safely.
