@@ -35,6 +35,11 @@ The package is organized bottom-up:
     Content-addressed artifact store: trained bundles are published on
     first build and rehydrated byte-identically in later processes
     (``python -m repro.store`` manages the cache).
+``repro.fleet``
+    Population-scale cohort simulation: reproducible heterogeneous
+    user sampling, kernel mega-batching, sharded supervised execution
+    and exact order-invariant streaming aggregation
+    (``python -m repro.fleet run`` for the CLI).
 
 Quickstart::
 

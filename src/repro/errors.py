@@ -55,6 +55,13 @@ class ResilienceError(ReproError, RuntimeError):
     opened against a different sweep's fingerprint, ...)."""
 
 
+class FleetError(ReproError, RuntimeError):
+    """A population-scale fleet run could not deliver the requested
+    cohort (shards exhausted their retries with ``on_failure="raise"``,
+    incompatible aggregates were merged, a fleet journal was opened
+    against a different cohort's fingerprint, ...)."""
+
+
 class StoreError(ReproError, RuntimeError):
     """An artifact-store operation failed (unwritable root, lock timeout,
     malformed manifest, key/schema mismatch, ...).  Integrity failures on

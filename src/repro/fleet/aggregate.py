@@ -1,0 +1,472 @@
+"""Streaming, order-invariant aggregation of per-user fleet metrics.
+
+Float addition is not associative, so a naive running sum would make a
+cohort's mean depend on shard layout.  Everything here is exact instead:
+
+* :class:`ExactSum` accumulates floats as fixed-point integers
+  (every IEEE-754 double is an integer multiple of ``2**-1074``), so
+  sums are associative, commutative and reproducible to the bit.
+* :class:`FleetDistribution` keeps the *exact* multiset of observed
+  values while the number of distinct values is small, and collapses
+  deterministically — value by value, independent of insertion order —
+  into fixed uniform bins once it exceeds ``max_exact``.  Merging two
+  shards' distributions therefore yields byte-identical state whether
+  the cohort ran as 1, 3 or N shards, while memory stays
+  ``O(max_exact + n_bins)`` regardless of cohort size.
+* :class:`FleetAggregate` is a policy x metric table of distributions
+  with an exact JSON round trip — the unit the fleet journal
+  checkpoints and the runner merges across shards.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import FleetError
+
+__all__ = [
+    "ExactSum",
+    "FleetDistribution",
+    "FleetAggregate",
+    "DEFAULT_QUANTILES",
+]
+
+#: ``2**1075`` is divisible by every possible ``as_integer_ratio``
+#: denominator of a finite double (at most ``2**1074`` for subnormals),
+#: so the fixed-point conversion below is exact, not rounded.
+_FIXED_SHIFT = 1075
+
+#: Percentiles rendered by the textual summaries.
+DEFAULT_QUANTILES = (1.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0)
+
+
+class ExactSum:
+    """An associative sum of floats via fixed-point integer arithmetic.
+
+    ``add`` converts each finite double to the integer
+    ``value * 2**1075`` (exact — see :data:`_FIXED_SHIFT`) and adds it
+    with unbounded-precision integer arithmetic; ``value`` converts
+    back with one correctly-rounded division.  The accumulator is a
+    canonical function of the *multiset* of added values, so any
+    grouping or ordering of partial sums merges to identical state.
+    """
+
+    __slots__ = ("_acc",)
+
+    def __init__(self, acc: int = 0) -> None:
+        self._acc = int(acc)
+
+    def add(self, value: float) -> None:
+        """Fold one finite float into the sum."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise FleetError(f"cannot accumulate non-finite value {value!r}")
+        numerator, denominator = value.as_integer_ratio()
+        self._acc += (numerator << _FIXED_SHIFT) // denominator
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold another accumulator in (exact, order-invariant)."""
+        self._acc += other._acc
+
+    @property
+    def value(self) -> float:
+        """The sum, rounded once to the nearest double."""
+        return self._acc / (1 << _FIXED_SHIFT)
+
+    def to_token(self) -> str:
+        """Lossless hex serialization of the accumulator."""
+        return hex(self._acc)
+
+    @classmethod
+    def from_token(cls, token: str) -> "ExactSum":
+        """Rebuild from :meth:`to_token` output."""
+        return cls(int(token, 16))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExactSum) and self._acc == other._acc
+
+    def __repr__(self) -> str:
+        return f"ExactSum({self.value!r})"
+
+
+class FleetDistribution:
+    """One metric's streaming distribution over a cohort.
+
+    Two internal modes share an exact outer shell (count, min, max and
+    an :class:`ExactSum` total):
+
+    * **exact** — a ``Counter`` of observed values.  Percentiles are
+      exact nearest-rank statistics.
+    * **binned** — once distinct values exceed ``max_exact``, the
+      counter collapses into ``n_bins`` uniform bins over ``[lo, hi]``
+      (out-of-range values clamp to the edge bins; min/max stay exact).
+      Percentiles resolve to bin midpoints.
+
+    The collapse is a pure function of the value multiset — it walks
+    values, not insertion history — so ``merge`` commutes with it and
+    shard layout cannot leak into the final state.
+    """
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "n_bins",
+        "max_exact",
+        "count",
+        "total",
+        "min_value",
+        "max_value",
+        "exact",
+        "bins",
+    )
+
+    def __init__(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        n_bins: int = 256,
+        max_exact: int = 4096,
+    ) -> None:
+        if not (math.isfinite(lo) and math.isfinite(hi) and lo < hi):
+            raise FleetError(f"need finite lo < hi, got [{lo}, {hi}]")
+        if n_bins < 1:
+            raise FleetError(f"n_bins must be >= 1, got {n_bins}")
+        if max_exact < 0:
+            raise FleetError(f"max_exact must be >= 0, got {max_exact}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_bins = int(n_bins)
+        self.max_exact = int(max_exact)
+        self.count = 0
+        self.total = ExactSum()
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+        self.exact: Optional[Counter] = Counter()
+        self.bins: Optional[List[int]] = None
+
+    # -- ingestion ------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise FleetError(f"cannot record non-finite metric value {value!r}")
+        self.count += 1
+        self.total.add(value)
+        self.min_value = value if self.min_value is None else min(self.min_value, value)
+        self.max_value = value if self.max_value is None else max(self.max_value, value)
+        if self.exact is not None:
+            self.exact[value] += 1
+            if len(self.exact) > self.max_exact:
+                self._collapse()
+        else:
+            self.bins[self._bin_index(value)] += 1
+
+    def _bin_index(self, value: float) -> int:
+        span = self.hi - self.lo
+        index = int((value - self.lo) / span * self.n_bins)
+        return min(max(index, 0), self.n_bins - 1)
+
+    def _collapse(self) -> None:
+        """Exact counter -> fixed bins.  Value-wise, hence order-free."""
+        bins = [0] * self.n_bins
+        for value, n in self.exact.items():
+            bins[self._bin_index(value)] += n
+        self.exact = None
+        self.bins = bins
+
+    # -- merging --------------------------------------------------------
+
+    def check_compatible(self, other: "FleetDistribution") -> None:
+        """Refuse merges across differently-parameterized aggregates."""
+        for attr in ("lo", "hi", "n_bins", "max_exact"):
+            if getattr(self, attr) != getattr(other, attr):
+                raise FleetError(
+                    f"incompatible distributions: {attr} "
+                    f"{getattr(self, attr)!r} != {getattr(other, attr)!r}"
+                )
+
+    def merge(self, other: "FleetDistribution") -> None:
+        """Fold ``other`` in.  Result depends only on the value multiset."""
+        self.check_compatible(other)
+        self.count += other.count
+        self.total.merge(other.total)
+        if other.min_value is not None:
+            self.min_value = (
+                other.min_value
+                if self.min_value is None
+                else min(self.min_value, other.min_value)
+            )
+        if other.max_value is not None:
+            self.max_value = (
+                other.max_value
+                if self.max_value is None
+                else max(self.max_value, other.max_value)
+            )
+        if self.exact is not None and other.exact is not None:
+            self.exact.update(other.exact)
+            if len(self.exact) > self.max_exact:
+                self._collapse()
+            return
+        if self.exact is not None:
+            self._collapse()
+        if other.exact is not None:
+            for value, n in other.exact.items():
+                self.bins[self._bin_index(value)] += n
+        else:
+            for index, n in enumerate(other.bins):
+                self.bins[index] += n
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact-sum mean (0.0 for an empty distribution)."""
+        return self.total.value / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (bin-midpoint once collapsed)."""
+        if not 0 <= q <= 100:
+            raise FleetError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            raise FleetError("percentile of an empty distribution")
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if self.exact is not None:
+            seen = 0
+            for value in sorted(self.exact):
+                seen += self.exact[value]
+                if seen >= rank:
+                    return value
+            return self.max_value  # unreachable: counts sum to self.count
+        seen = 0
+        width = (self.hi - self.lo) / self.n_bins
+        for index, n in enumerate(self.bins):
+            seen += n
+            if seen >= rank:
+                return self.lo + (index + 0.5) * width
+        return self.max_value
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact JSON-safe form; keys and exact entries are sorted."""
+        document: Dict[str, Any] = {
+            "lo": self.lo,
+            "hi": self.hi,
+            "n_bins": self.n_bins,
+            "max_exact": self.max_exact,
+            "count": self.count,
+            "total": self.total.to_token(),
+            "min": self.min_value,
+            "max": self.max_value,
+        }
+        if self.exact is not None:
+            document["exact"] = [
+                [value, self.exact[value]] for value in sorted(self.exact)
+            ]
+        else:
+            document["bins"] = list(self.bins)
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FleetDistribution":
+        """Rebuild the exact state serialized by :meth:`to_dict`."""
+        dist = cls(
+            document["lo"],
+            document["hi"],
+            n_bins=document["n_bins"],
+            max_exact=document["max_exact"],
+        )
+        dist.count = int(document["count"])
+        dist.total = ExactSum.from_token(document["total"])
+        dist.min_value = document["min"]
+        dist.max_value = document["max"]
+        if "exact" in document:
+            dist.exact = Counter(
+                {float(value): int(n) for value, n in document["exact"]}
+            )
+            dist.bins = None
+        else:
+            dist.exact = None
+            dist.bins = [int(n) for n in document["bins"]]
+        return dist
+
+
+class FleetAggregate:
+    """Per-policy, per-metric distribution table for one cohort (slice).
+
+    ``bounds`` maps metric name to the ``(lo, hi)`` histogram range —
+    derived from the experiment shape by the runner so every shard of a
+    cohort constructs identical distributions.  ``add_user`` ingests one
+    user's metrics for every policy at once; ``merge`` folds shard
+    aggregates together in any order.
+    """
+
+    def __init__(
+        self,
+        *,
+        bounds: Mapping[str, Tuple[float, float]],
+        n_bins: int = 256,
+        max_exact: int = 4096,
+    ) -> None:
+        if not bounds:
+            raise FleetError("aggregate needs at least one metric bound")
+        self.bounds: Dict[str, Tuple[float, float]] = {
+            name: (float(lo), float(hi)) for name, (lo, hi) in bounds.items()
+        }
+        self.n_bins = int(n_bins)
+        self.max_exact = int(max_exact)
+        self.users = 0
+        self.shards = 0
+        self.policies: Dict[str, Dict[str, FleetDistribution]] = {}
+
+    def _fresh_row(self) -> Dict[str, FleetDistribution]:
+        return {
+            name: FleetDistribution(
+                lo, hi, n_bins=self.n_bins, max_exact=self.max_exact
+            )
+            for name, (lo, hi) in self.bounds.items()
+        }
+
+    # -- ingestion ------------------------------------------------------
+
+    def add_user(self, metrics_by_policy: Mapping[str, Mapping[str, float]]) -> None:
+        """Record one user's metric dict per policy."""
+        for policy_name, metrics in metrics_by_policy.items():
+            row = self.policies.get(policy_name)
+            if row is None:
+                row = self.policies[policy_name] = self._fresh_row()
+            for metric_name, value in metrics.items():
+                dist = row.get(metric_name)
+                if dist is None:
+                    raise FleetError(
+                        f"metric {metric_name!r} has no configured bounds "
+                        f"(known: {sorted(self.bounds)})"
+                    )
+                dist.add(value)
+        self.users += 1
+
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: "FleetAggregate") -> None:
+        """Fold a shard aggregate in; result is merge-order-invariant."""
+        if (
+            self.bounds != other.bounds
+            or self.n_bins != other.n_bins
+            or self.max_exact != other.max_exact
+        ):
+            raise FleetError("cannot merge aggregates with different layouts")
+        self.users += other.users
+        self.shards += other.shards
+        for policy_name, their_row in other.policies.items():
+            row = self.policies.get(policy_name)
+            if row is None:
+                row = self.policies[policy_name] = self._fresh_row()
+            for metric_name, theirs in their_row.items():
+                row[metric_name].merge(theirs)
+
+    # -- access ---------------------------------------------------------
+
+    def distribution(self, policy: str, metric: str) -> FleetDistribution:
+        """The distribution of ``metric`` under ``policy``."""
+        try:
+            return self.policies[policy][metric]
+        except KeyError:
+            raise FleetError(
+                f"no distribution for policy={policy!r} metric={metric!r} "
+                f"(policies: {sorted(self.policies)})"
+            ) from None
+
+    @property
+    def policy_names(self) -> List[str]:
+        """Recorded policy names, sorted."""
+        return sorted(self.policies)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact JSON-safe form (the journal/bench payload)."""
+        return {
+            "schema_version": 1,
+            "n_bins": self.n_bins,
+            "max_exact": self.max_exact,
+            "users": self.users,
+            "shards": self.shards,
+            "bounds": {name: list(pair) for name, pair in sorted(self.bounds.items())},
+            "policies": {
+                policy_name: {
+                    metric_name: row[metric_name].to_dict()
+                    for metric_name in sorted(row)
+                }
+                for policy_name, row in sorted(self.policies.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte representation of the full state."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def stats_json(self) -> str:
+        """Canonical bytes of the *statistics* — the layout-invariance
+        contract's probe.
+
+        Everything except ``shards`` (how many pieces the cohort
+        happened to run in — provenance, not a population statistic) is
+        byte-identical across any shard layout, merge order, worker
+        count or journal resume.
+        """
+        document = self.to_dict()
+        del document["shards"]
+        return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FleetAggregate":
+        """Rebuild the exact state serialized by :meth:`to_dict`."""
+        version = document.get("schema_version")
+        if version != 1:
+            raise FleetError(f"unsupported fleet aggregate schema {version!r}")
+        aggregate = cls(
+            bounds={
+                name: (pair[0], pair[1])
+                for name, pair in document["bounds"].items()
+            },
+            n_bins=document["n_bins"],
+            max_exact=document["max_exact"],
+        )
+        aggregate.users = int(document["users"])
+        aggregate.shards = int(document["shards"])
+        for policy_name, row in document["policies"].items():
+            aggregate.policies[policy_name] = {
+                metric_name: FleetDistribution.from_dict(entry)
+                for metric_name, entry in row.items()
+            }
+        return aggregate
+
+    # -- reporting ------------------------------------------------------
+
+    def summary_lines(
+        self,
+        metrics: Iterable[str] = ("event_accuracy", "completion_rate", "accuracy_drop"),
+        quantiles: Tuple[float, ...] = DEFAULT_QUANTILES,
+    ) -> List[str]:
+        """A compact per-policy percentile table."""
+        lines = [f"cohort: {self.users} user(s) across {self.shards} shard(s)"]
+        header = "  ".join(f"p{q:g}" for q in quantiles)
+        for policy_name in self.policy_names:
+            lines.append(f"policy {policy_name}:")
+            for metric_name in metrics:
+                dist = self.policies[policy_name].get(metric_name)
+                if dist is None or not dist.count:
+                    continue
+                cells = "  ".join(
+                    f"{dist.percentile(q):.4f}" for q in quantiles
+                )
+                lines.append(
+                    f"  {metric_name:<18} mean={dist.mean:.4f}  "
+                    f"[{header}] = [{cells}]"
+                )
+        return lines

@@ -17,7 +17,15 @@
 from repro.sim.training import TrainedLocationModel, TrainedSensorBundle, TrainingConfig
 from repro.sim.results import CompletionBreakdown, ExperimentResult, SlotRecord
 from repro.sim.experiment import HARExperiment, SimulationConfig
-from repro.sim.kernel import SlotKernel, kernel_eligible, run_node_schedule, run_policy_batch
+from repro.sim.kernel import (
+    BatchGroup,
+    SlotKernel,
+    kernel_eligible,
+    kernel_ineligibility_reason,
+    run_group_batch,
+    run_node_schedule,
+    run_policy_batch,
+)
 from repro.sim.predcache import PredictionCache, RunMaterial, build_run_material
 from repro.sim.baselines import BaselineResult, evaluate_baseline, per_sensor_accuracy
 from repro.sim.completion import CompletionExperiment, CompletionStudyResult
@@ -33,8 +41,11 @@ __all__ = [
     "SlotRecord",
     "HARExperiment",
     "SimulationConfig",
+    "BatchGroup",
     "SlotKernel",
     "kernel_eligible",
+    "kernel_ineligibility_reason",
+    "run_group_batch",
     "run_node_schedule",
     "run_policy_batch",
     "PredictionCache",

@@ -102,6 +102,8 @@ class SimulationConfig:
             raise ConfigurationError(f"n_windows must be >= 1, got {self.n_windows}")
         if self.trace_scale <= 0:
             raise ConfigurationError(f"trace_scale must be positive, got {self.trace_scale}")
+        if self.dwell_scale <= 0:
+            raise ConfigurationError(f"dwell_scale must be positive, got {self.dwell_scale}")
         if self.battery_supplement_w < 0:
             raise ConfigurationError(
                 f"battery_supplement_w must be >= 0, got {self.battery_supplement_w}"
@@ -397,14 +399,15 @@ class HARExperiment:
         # a batch of one replaces the python slot loop — byte-identical
         # results, measured in BENCH_kernel.json.
         if kernel is not False:
-            from repro.sim.kernel import kernel_eligible, run_policy_batch
+            from repro.sim.kernel import kernel_ineligibility_reason, run_policy_batch
 
-            if kernel_eligible(
+            fallback_reason = kernel_ineligibility_reason(
                 material=material,
                 window_transform=window_transform,
                 faults=faults,
                 obs=obs,
-            ):
+            )
+            if fallback_reason is None:
                 logger.debug(
                     "run via kernel: policy=%s seed=%d", policy.name, run_seed
                 )
@@ -417,6 +420,16 @@ class HARExperiment:
                     config=config,
                     confidence_matrices=[confidence_matrix],
                 )[0]
+            # A kernel-capable run took the scalar loop: count it, tagged
+            # with the blocking feature, so sweeps that quietly lose the
+            # vectorized speedup show up in summarize reports.
+            if obs.enabled:
+                obs.metrics.inc("kernel.fallback")
+                obs.metrics.inc(f"kernel.fallback.{fallback_reason}")
+            logger.debug(
+                "scalar fallback (%s): policy=%s seed=%d",
+                fallback_reason, policy.name, run_seed,
+            )
 
         # Network.
         nodes = self._build_nodes(factory, config)

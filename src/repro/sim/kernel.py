@@ -68,6 +68,33 @@ from repro.wsn.node import InferenceOutcome, NodeStats, SensorNode
 logger = logging.getLogger(__name__)
 
 
+def kernel_ineligibility_reason(
+    *,
+    material: Optional[RunMaterial],
+    window_transform,
+    faults,
+    obs,
+) -> Optional[str]:
+    """Why a run cannot take the vectorized path, or ``None`` if it can.
+
+    The rules mirror the scalar features the kernel does not model (see
+    module docstring); the returned tag feeds the ``kernel.fallback.*``
+    observability counters so sweeps that quietly lose the kernel
+    speedup are visible in ``repro.obs.summarize`` reports.
+    """
+    # Most specific first: an observed run with a fault plan reports
+    # "fault_plan", not the always-true-under-obs "tracing".
+    if window_transform is not None:
+        return "window_transform"
+    if faults is not None and not faults.is_empty:
+        return "fault_plan"
+    if material is None or material.probabilities is None:
+        return "missing_probs"
+    if obs is not None and obs.enabled:
+        return "tracing"
+    return None
+
+
 def kernel_eligible(
     *,
     material: Optional[RunMaterial],
@@ -77,20 +104,19 @@ def kernel_eligible(
 ) -> bool:
     """Whether a run with these inputs can take the vectorized path.
 
-    The rules mirror the scalar features the kernel does not model (see
-    module docstring): any ``False`` here routes the run through the
-    scalar loop, whose output the kernel is byte-identical to whenever
-    both are possible.
+    Any ``False`` here routes the run through the scalar loop, whose
+    output the kernel is byte-identical to whenever both are possible;
+    :func:`kernel_ineligibility_reason` names the blocking feature.
     """
-    if obs is not None and obs.enabled:
-        return False
-    if window_transform is not None:
-        return False
-    if material is None or material.probabilities is None:
-        return False
-    if faults is not None and not faults.is_empty:
-        return False
-    return True
+    return (
+        kernel_ineligibility_reason(
+            material=material,
+            window_transform=window_transform,
+            faults=faults,
+            obs=obs,
+        )
+        is None
+    )
 
 
 @dataclass(frozen=True)
@@ -223,6 +249,53 @@ class SlotKernel:
                     for n in nodes
                 ]
             ),
+        )
+
+    @classmethod
+    def stack(cls, kernels: Sequence["SlotKernel"]) -> "SlotKernel":
+        """Concatenate fresh kernels' lanes into one mega-batch kernel.
+
+        The fleet layer's lane packing: each input kernel holds one
+        homogeneous slice (e.g. one user's ``policies x nodes`` lanes
+        from :meth:`from_nodes`) and the stacked kernel advances every
+        slice in a single ``advance`` per slot.  Per-lane physics is
+        elementwise, so lane ``i`` of a stacked kernel is byte-identical
+        to the same lane advanced in its own kernel.  Inputs must be
+        fresh (no slot advanced yet); a single input is returned as-is.
+        """
+        kernels = list(kernels)
+        if not kernels:
+            raise SimulationError("stack needs at least one kernel")
+        if len(kernels) == 1:
+            return kernels[0]
+        slot_counts = {kernel.n_slots for kernel in kernels}
+        if len(slot_counts) != 1:
+            raise SimulationError(
+                f"stacked kernels must share one slot count, got {sorted(slot_counts)}"
+            )
+        for kernel in kernels:
+            if kernel.slots.any() or kernel.in_progress.any():
+                raise SimulationError("stack needs fresh kernels (no slots advanced)")
+
+        def cat(name: str) -> np.ndarray:
+            return np.concatenate([getattr(kernel, name) for kernel in kernels])
+
+        return cls(
+            slot_energies=np.concatenate(
+                [kernel.slot_energies for kernel in kernels], axis=0
+            ),
+            capacity_j=cat("capacity_j"),
+            # A fresh kernel's ``stored`` is its (already clamped)
+            # initial charge, so it seeds the stacked lanes exactly.
+            initial_j=cat("stored"),
+            leak_j=cat("leak_j"),
+            idle_j=cat("idle_j"),
+            sense_j=cat("sense_j"),
+            task_work_j=cat("task_work_j"),
+            useful_fraction=cat("useful_fraction"),
+            volatile=cat("volatile"),
+            comm_cost_j=cat("comm_cost_j"),
+            max_task_age_slots=cat("max_task_age_slots"),
         )
 
     # ------------------------------------------------------------------
@@ -453,7 +526,7 @@ def _lane_outcome(
 
 
 # ---------------------------------------------------------------------------
-# stage 2: batched policy runs
+# stage 2: batched policy runs (and stage 3: heterogeneous groups)
 # ---------------------------------------------------------------------------
 
 
@@ -472,37 +545,64 @@ class _RunState:
     active_ids: List[int] = field(default_factory=list)
 
 
-def run_policy_batch(
-    experiment,
-    policies: Sequence[PolicySpec],
-    seed: int,
-    *,
-    material: Optional[RunMaterial] = None,
-    subject=None,
-    config=None,
-    confidence_matrices: Optional[Sequence] = None,
-) -> List[ExperimentResult]:
-    """Run every policy for one seed on a single batched timeline.
+@dataclass(frozen=True)
+class BatchGroup:
+    """One homogeneous slice of a (possibly heterogeneous) mega-batch.
 
-    The stage-2 entry point: ``len(policies)`` runs advance in lockstep
-    as lanes of one :class:`SlotKernel` (they share the seed's traces
-    and material), while each run keeps its own scheduler, host, voting,
-    confidence matrix and comm links — the scalar objects, driven
-    per-slot from the lane arrays.  Returns one
-    :class:`~repro.sim.results.ExperimentResult` per policy, in order,
-    byte-identical to ``experiment.run(policy, seed=seed, ...)``.
+    A group is everything that shares a seed, deployment config and run
+    material: ``len(policies)`` runs over one set of node templates.
+    :func:`run_policy_batch` is a single group; the fleet layer packs
+    one group per simulated user — each with its *own* traces,
+    capacitor sizing, gains and timeline — into one
+    :func:`run_group_batch` call.
 
-    ``confidence_matrices`` optionally supplies (and mutates!) one
-    matrix per policy, mirroring ``run(confidence_matrix=...)``; use
-    ``None`` entries for the default fresh copies.
+    ``config`` (a :class:`~repro.sim.experiment.SimulationConfig`)
+    defaults to the experiment's; ``material`` is built on demand when
+    omitted; ``confidence_matrices`` optionally supplies (and mutates!)
+    one matrix per policy, ``None`` entries meaning fresh copies.
     """
-    policies = list(policies)
+
+    policies: Sequence[PolicySpec]
+    seed: int
+    config: Optional[object] = None
+    material: Optional[RunMaterial] = None
+    subject: Optional[object] = None
+    confidence_matrices: Optional[Sequence] = None
+
+
+@dataclass
+class _GroupState:
+    """One group's prepared objects plus its lane offset in the batch."""
+
+    nodes: List[SensorNode]
+    node_ids: List[int]
+    material: RunMaterial
+    true_labels: List[int]
+    class_predictions: dict
+    runs: List[_RunState]
+    n_slots: int
+    base: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+
+def _prepare_group(experiment, group: BatchGroup) -> tuple:
+    """Materialize one group's nodes, material and run objects.
+
+    Returns ``(_GroupState, SlotKernel)`` — the kernel holds the
+    group's ``len(policies) * len(nodes)`` fresh lanes, ready to be
+    stacked with other groups'.
+    """
+    policies = list(group.policies)
     if not policies:
-        return []
-    config = config if config is not None else experiment.config
-    run_seed = int(seed)
+        raise ConfigurationError("a batch group needs at least one policy")
+    config = group.config if group.config is not None else experiment.config
+    run_seed = int(group.seed)
     dataset_spec = experiment.dataset.spec
-    subject = subject or default_subject(experiment.dataset)
+    subject = group.subject or default_subject(experiment.dataset)
+    confidence_matrices = group.confidence_matrices
     if confidence_matrices is None:
         confidence_matrices = [None] * len(policies)
     elif len(confidence_matrices) != len(policies):
@@ -511,6 +611,7 @@ def run_policy_batch(
             f"({len(confidence_matrices)} != {len(policies)})"
         )
 
+    material = group.material
     if material is None:
         material = build_run_material(
             experiment.dataset,
@@ -541,10 +642,8 @@ def run_policy_batch(
     factory = SeedSequenceFactory(run_seed)
     nodes = experiment._build_nodes(factory, config)
     node_ids = [node.node_id for node in nodes]
-    n_nodes = len(nodes)
-    n_runs = len(policies)
     n_slots = config.n_windows
-    kernel = SlotKernel.from_nodes(nodes, n_runs=n_runs, n_slots=n_slots)
+    kernel = SlotKernel.from_nodes(nodes, n_runs=len(policies), n_slots=n_slots)
     class_predictions = material.class_predictions()
     true_labels = [dataset_spec.label_of(label) for label in material.labels]
 
@@ -585,113 +684,228 @@ def run_policy_batch(
             )
         )
 
+    state = _GroupState(
+        nodes=nodes,
+        node_ids=node_ids,
+        material=material,
+        true_labels=true_labels,
+        class_predictions=class_predictions,
+        runs=runs,
+        n_slots=n_slots,
+    )
+    return state, kernel
+
+
+def run_group_batch(
+    experiment,
+    groups: Sequence[BatchGroup],
+) -> List[List[ExperimentResult]]:
+    """Advance every run of every group in lockstep on one kernel.
+
+    The mega-batch entry point: groups may differ in seed, traces,
+    capacitor sizing, gains, dwell and material — each contributes its
+    own ``policies x nodes`` lane block to one stacked
+    :class:`SlotKernel`, so the whole cohort's physics advances with
+    one numpy statement per rule per slot instead of one kernel
+    invocation per user.  Schedulers, hosts, voting and confidence
+    matrices remain per-run python objects fed from their lanes.
+
+    Returns one ``List[ExperimentResult]`` per group (one entry per
+    policy, in order).  Every result is byte-identical to running that
+    group's ``(policy, seed, config)`` alone through
+    ``HARExperiment.run`` — per-lane physics is elementwise, and the
+    per-run epilogue executes the same statements in the same order.
+
+    All groups must share one slot count (``config.n_windows``).
+    """
+    groups = list(groups)
+    if not groups:
+        return []
+
+    states: List[_GroupState] = []
+    kernels: List[SlotKernel] = []
+    base = 0
+    for group in groups:
+        state, group_kernel = _prepare_group(experiment, group)
+        state.base = base
+        base += group_kernel.n_lanes
+        states.append(state)
+        kernels.append(group_kernel)
+    n_slots = states[0].n_slots
+    for state in states[1:]:
+        if state.n_slots != n_slots:
+            raise ConfigurationError(
+                f"all groups of a batch must share n_windows "
+                f"({state.n_slots} != {n_slots})"
+            )
+    kernel = SlotKernel.stack(kernels)
+
     logger.debug(
-        "kernel batch: %d policies x %d nodes x %d slots (seed=%d)",
-        n_runs, n_nodes, n_slots, run_seed,
+        "kernel batch: %d group(s), %d lanes x %d slots",
+        len(states), kernel.n_lanes, n_slots,
     )
 
     stored = kernel.stored
     active_mask = np.zeros(kernel.n_lanes, dtype=bool)
-    lane_of = {
-        (r, node_id): r * n_nodes + k
-        for r in range(n_runs)
-        for k, node_id in enumerate(node_ids)
-    }
+    lane_of = {}
+    for g, state in enumerate(states):
+        for r in range(len(state.runs)):
+            for k, node_id in enumerate(state.node_ids):
+                lane_of[g, r, node_id] = state.base + r * state.n_nodes + k
+
     for slot in range(n_slots):
         # Scheduling: the real scheduler objects, fed per-run contexts
         # assembled from the lane arrays (the scalar path's dicts).
         ready = kernel.ready_mask()
         active_mask[:] = False
-        for r, run in enumerate(runs):
-            base = r * n_nodes
-            context = SchedulingContext(
-                node_energy_j={
-                    node_ids[k]: float(stored[base + k]) for k in range(n_nodes)
-                },
-                node_ready={
-                    node_ids[k]: bool(ready[base + k]) for k in range(n_nodes)
-                },
-                anticipated_label=run.last_final,
-                node_responsive={},
-            )
-            run.active_ids = list(run.scheduler.active_nodes(slot, context))
-            for node_id in run.active_ids:
-                active_mask[lane_of[r, node_id]] = True
+        for g, state in enumerate(states):
+            node_ids = state.node_ids
+            n_nodes = state.n_nodes
+            for r, run in enumerate(state.runs):
+                run_base = state.base + r * n_nodes
+                context = SchedulingContext(
+                    node_energy_j={
+                        node_ids[k]: float(stored[run_base + k])
+                        for k in range(n_nodes)
+                    },
+                    node_ready={
+                        node_ids[k]: bool(ready[run_base + k])
+                        for k in range(n_nodes)
+                    },
+                    anticipated_label=run.last_final,
+                    node_responsive={},
+                )
+                run.active_ids = list(run.scheduler.active_nodes(slot, context))
+                for node_id in run.active_ids:
+                    active_mask[lane_of[g, r, node_id]] = True
 
         events = kernel.advance(slot, active_mask)
 
         # Epilogue: per run, materialize outcomes in node (construction)
         # order and drive host/confidence/scheduler exactly as the
         # scalar loop does.
-        for r, run in enumerate(runs):
-            base = r * n_nodes
-            outcomes: List[InferenceOutcome] = []
-            for k, node in enumerate(nodes):
-                lane = base + k
-                if not active_mask[lane]:
-                    continue
-                predicted, confidences = class_predictions[node.node_id]
-                outcome = _lane_outcome(
-                    events,
-                    lane,
-                    node_id=node.node_id,
-                    location=node.location,
-                    slot=slot,
-                    probabilities=material.probabilities[node.node_id],
-                    predicted=predicted,
-                    confidences=confidences,
-                    comm=run.comms[k],
-                    result_message_bytes=node.costs.result_message_bytes,
-                )
-                outcomes.append(outcome)
-                if outcome.completed and outcome.delivered:
-                    run.host.receive(outcome)
-
-            if run.spec.adaptive_confidence:
-                for outcome in outcomes:
+        for state in states:
+            material = state.material
+            true_label = state.true_labels[slot]
+            n_nodes = state.n_nodes
+            for r, run in enumerate(state.runs):
+                run_base = state.base + r * n_nodes
+                outcomes: List[InferenceOutcome] = []
+                for k, node in enumerate(state.nodes):
+                    lane = run_base + k
+                    if not active_mask[lane]:
+                        continue
+                    predicted, confidences = state.class_predictions[node.node_id]
+                    outcome = _lane_outcome(
+                        events,
+                        lane,
+                        node_id=node.node_id,
+                        location=node.location,
+                        slot=slot,
+                        probabilities=material.probabilities[node.node_id],
+                        predicted=predicted,
+                        confidences=confidences,
+                        comm=run.comms[k],
+                        result_message_bytes=node.costs.result_message_bytes,
+                    )
+                    outcomes.append(outcome)
                     if outcome.completed and outcome.delivered:
-                        run.confidence.update(
-                            outcome.node_id,
-                            outcome.delivered_label,
-                            outcome.confidence,
-                        )
+                        run.host.receive(outcome)
 
-            if run.spec.uses_recall:
-                final = run.host.classify(slot)
-            else:
-                completed = [o for o in outcomes if o.completed and o.delivered]
-                if completed:
-                    run.last_final = completed[-1].delivered_label
-                final = run.last_final
-            if final is not None:
-                run.last_final = final
+                if run.spec.adaptive_confidence:
+                    for outcome in outcomes:
+                        if outcome.completed and outcome.delivered:
+                            run.confidence.update(
+                                outcome.node_id,
+                                outcome.delivered_label,
+                                outcome.confidence,
+                            )
 
-            run.scheduler.observe(
-                slot, [o for o in outcomes if o.delivered], final
-            )
-            run.result.records.append(
-                SlotRecord(
-                    slot_index=slot,
-                    true_label=true_labels[slot],
-                    predicted_label=final,
-                    active_nodes=tuple(run.active_ids),
-                    completions=sum(1 for o in outcomes if o.completed),
-                    attempts=len(outcomes),
-                    dropped_messages=sum(
-                        1 for o in outcomes if o.completed and not o.delivered
-                    ),
+                if run.spec.uses_recall:
+                    final = run.host.classify(slot)
+                else:
+                    completed = [o for o in outcomes if o.completed and o.delivered]
+                    if completed:
+                        run.last_final = completed[-1].delivered_label
+                    final = run.last_final
+                if final is not None:
+                    run.last_final = final
+
+                run.scheduler.observe(
+                    slot, [o for o in outcomes if o.delivered], final
                 )
-            )
+                run.result.records.append(
+                    SlotRecord(
+                        slot_index=slot,
+                        true_label=true_label,
+                        predicted_label=final,
+                        active_nodes=tuple(run.active_ids),
+                        completions=sum(1 for o in outcomes if o.completed),
+                        attempts=len(outcomes),
+                        dropped_messages=sum(
+                            1 for o in outcomes if o.completed and not o.delivered
+                        ),
+                    )
+                )
 
-    results: List[ExperimentResult] = []
-    for r, run in enumerate(runs):
-        base = r * n_nodes
-        run.result.node_stats = {
-            node_ids[k]: kernel.lane_stats(base + k) for k in range(n_nodes)
-        }
-        run.result.comm_energy_j = sum(link.energy_spent_j for link in run.comms)
-        run.result.confidence_updates = (
-            run.confidence.updates - run.confidence_updates_before
-        )
-        results.append(run.result)
+    results: List[List[ExperimentResult]] = []
+    for state in states:
+        group_results: List[ExperimentResult] = []
+        for r, run in enumerate(state.runs):
+            run_base = state.base + r * state.n_nodes
+            run.result.node_stats = {
+                state.node_ids[k]: kernel.lane_stats(run_base + k)
+                for k in range(state.n_nodes)
+            }
+            run.result.comm_energy_j = sum(
+                link.energy_spent_j for link in run.comms
+            )
+            run.result.confidence_updates = (
+                run.confidence.updates - run.confidence_updates_before
+            )
+            group_results.append(run.result)
+        results.append(group_results)
     return results
+
+
+def run_policy_batch(
+    experiment,
+    policies: Sequence[PolicySpec],
+    seed: int,
+    *,
+    material: Optional[RunMaterial] = None,
+    subject=None,
+    config=None,
+    confidence_matrices: Optional[Sequence] = None,
+) -> List[ExperimentResult]:
+    """Run every policy for one seed on a single batched timeline.
+
+    The stage-2 entry point: ``len(policies)`` runs advance in lockstep
+    as lanes of one :class:`SlotKernel` (they share the seed's traces
+    and material), while each run keeps its own scheduler, host, voting,
+    confidence matrix and comm links — the scalar objects, driven
+    per-slot from the lane arrays.  Returns one
+    :class:`~repro.sim.results.ExperimentResult` per policy, in order,
+    byte-identical to ``experiment.run(policy, seed=seed, ...)``.
+
+    This is :func:`run_group_batch` with a single :class:`BatchGroup`;
+    ``confidence_matrices`` optionally supplies (and mutates!) one
+    matrix per policy, mirroring ``run(confidence_matrix=...)``, with
+    ``None`` entries for the default fresh copies.
+    """
+    policies = list(policies)
+    if not policies:
+        return []
+    return run_group_batch(
+        experiment,
+        [
+            BatchGroup(
+                policies=policies,
+                seed=seed,
+                config=config,
+                material=material,
+                subject=subject,
+                confidence_matrices=confidence_matrices,
+            )
+        ],
+    )[0]

@@ -602,23 +602,9 @@ class PolicySweep:
         has no store provenance, the store is disabled, or the entry is
         gone.
         """
-        bundle = self.experiment.bundle
-        store_key = getattr(bundle, "store_key", None)
-        rehydrate = self.worker_rehydrate
-        if rehydrate is None or rehydrate:
-            available = store_key is not None and _store_has_entry(store_key)
-            rehydrate = available if rehydrate is None else (rehydrate and available)
-        if not rehydrate:
-            return (self.experiment, self.use_prediction_cache, None, None, self.use_kernel)
-        stub = copy.copy(self.experiment)
-        stub.bundle = None
-        recipe = _BundleRecipe(
-            budget_j=bundle.budget_j,
-            seed=bundle.train_seed,
-            config=bundle.train_config,
-            cost_model=bundle.cost_model,
+        stub, store_key, recipe = worker_experiment_payload(
+            self.experiment, rehydrate=self.worker_rehydrate
         )
-        logger.debug("parallel sweep workers rehydrate bundle from key %s", store_key)
         return (stub, self.use_prediction_cache, store_key, recipe, self.use_kernel)
 
     def _run_baseline(self, baseline: BaselineSpec, seed: int) -> BaselineResult:
@@ -712,6 +698,39 @@ def _store_has_entry(key: str) -> bool:
 
     store = default_store()
     return store.enabled and store.contains(key)
+
+
+def worker_experiment_payload(
+    experiment: HARExperiment, *, rehydrate: Optional[bool] = None
+) -> Tuple[HARExperiment, Optional[str], Optional[_BundleRecipe]]:
+    """``(experiment stub, store key, recipe)`` to ship to pool workers.
+
+    The store-keyed rehydration contract shared by the sweep and fleet
+    executors: when the bundle has artifact-store provenance (and the
+    entry exists), the returned stub is bundle-less and workers
+    rehydrate it by key — falling back to a deterministic retrain from
+    ``recipe`` if the entry vanished.  Otherwise the full experiment is
+    returned with ``(None, None)`` and pickles as before.  ``rehydrate``
+    forces either path (forcing ``True`` without an available entry
+    still falls back to pickling).
+    """
+    bundle = experiment.bundle
+    store_key = getattr(bundle, "store_key", None)
+    if rehydrate is None or rehydrate:
+        available = store_key is not None and _store_has_entry(store_key)
+        rehydrate = available if rehydrate is None else (rehydrate and available)
+    if not rehydrate:
+        return experiment, None, None
+    stub = copy.copy(experiment)
+    stub.bundle = None
+    recipe = _BundleRecipe(
+        budget_j=bundle.budget_j,
+        seed=bundle.train_seed,
+        config=bundle.train_config,
+        cost_model=bundle.cost_model,
+    )
+    logger.debug("pool workers rehydrate bundle from key %s", store_key)
+    return stub, store_key, recipe
 
 
 def apply_chaos_store_drops(keys: Sequence[str]) -> None:

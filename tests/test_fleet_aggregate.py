@@ -1,0 +1,232 @@
+"""Exactness and order/shard-invariance of the fleet aggregators."""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet.aggregate import ExactSum, FleetAggregate, FleetDistribution
+
+
+def _values(n, seed=0, lo=-1.0, hi=1.0):
+    rng = random.Random(seed)
+    return [rng.uniform(lo, hi) for _ in range(n)]
+
+
+class TestExactSum:
+    def test_matches_math_fsum(self):
+        values = _values(500, seed=1)
+        acc = ExactSum()
+        for value in values:
+            acc.add(value)
+        assert acc.value == pytest.approx(math.fsum(values), abs=0, rel=1e-15)
+
+    def test_order_invariant_to_the_bit(self):
+        values = _values(300, seed=2)
+        forward, backward = ExactSum(), ExactSum()
+        for value in values:
+            forward.add(value)
+        for value in reversed(values):
+            backward.add(value)
+        assert forward == backward
+        assert forward.value == backward.value
+
+    def test_grouping_invariant(self):
+        values = _values(100, seed=3)
+        whole = ExactSum()
+        for value in values:
+            whole.add(value)
+        pieces = ExactSum()
+        for chunk_start in range(0, len(values), 7):
+            part = ExactSum()
+            for value in values[chunk_start : chunk_start + 7]:
+                part.add(value)
+            pieces.merge(part)
+        assert whole == pieces
+
+    def test_token_round_trip(self):
+        acc = ExactSum()
+        for value in (-0.1, 3.7, 1e-300, -2.5e8):
+            acc.add(value)
+        assert ExactSum.from_token(acc.to_token()) == acc
+
+    def test_tiny_and_negative_values_exact(self):
+        acc = ExactSum()
+        acc.add(5e-324)  # smallest subnormal
+        acc.add(-5e-324)
+        assert acc.value == 0.0
+        assert acc.to_token() == "0x0"
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(FleetError):
+            ExactSum().add(float("nan"))
+        with pytest.raises(FleetError):
+            ExactSum().add(float("inf"))
+
+
+class TestFleetDistribution:
+    def test_exact_percentiles_small(self):
+        dist = FleetDistribution(0.0, 1.0)
+        for value in (0.1, 0.2, 0.3, 0.4, 0.5):
+            dist.add(value)
+        assert dist.percentile(50) == 0.3
+        assert dist.percentile(0) == 0.1
+        assert dist.percentile(100) == 0.5
+        assert dist.min_value == 0.1 and dist.max_value == 0.5
+
+    def test_collapse_preserves_counts_and_exact_outer_stats(self):
+        dist = FleetDistribution(0.0, 1.0, n_bins=16, max_exact=10)
+        values = [i / 50 for i in range(50)]
+        for value in values:
+            dist.add(value)
+        assert dist.exact is None  # collapsed
+        assert dist.count == 50
+        assert sum(dist.bins) == 50
+        assert dist.min_value == 0.0 and dist.max_value == values[-1]
+        assert dist.mean == pytest.approx(math.fsum(values) / 50, rel=1e-15)
+
+    def test_collapse_timing_does_not_change_state(self):
+        # Collapsing mid-stream (single shard) vs at merge time (two
+        # exact shards) must land on identical bytes.
+        values = _values(200, seed=4, lo=0.0, hi=1.0)
+        single = FleetDistribution(0.0, 1.0, n_bins=32, max_exact=50)
+        for value in values:
+            single.add(value)
+        left = FleetDistribution(0.0, 1.0, n_bins=32, max_exact=50)
+        right = FleetDistribution(0.0, 1.0, n_bins=32, max_exact=50)
+        for value in values[:40]:
+            left.add(value)
+        for value in values[40:80]:
+            right.add(value)
+        for value in values[80:]:
+            right.add(value)
+        left.merge(right)
+        assert json.dumps(single.to_dict(), sort_keys=True) == json.dumps(
+            left.to_dict(), sort_keys=True
+        )
+
+    def test_merge_order_invariant(self):
+        values = _values(120, seed=5, lo=0.0, hi=1.0)
+        shards = []
+        for start in range(0, 120, 40):
+            shard = FleetDistribution(0.0, 1.0, max_exact=30)
+            for value in values[start : start + 40]:
+                shard.add(value)
+            shards.append(shard)
+
+        def merged(order):
+            total = FleetDistribution(0.0, 1.0, max_exact=30)
+            for index in order:
+                copy = FleetDistribution.from_dict(shards[index].to_dict())
+                total.merge(copy)
+            return json.dumps(total.to_dict(), sort_keys=True)
+
+        assert merged([0, 1, 2]) == merged([2, 0, 1]) == merged([1, 2, 0])
+
+    def test_out_of_range_values_clamp_into_edge_bins(self):
+        dist = FleetDistribution(0.0, 1.0, n_bins=4, max_exact=0)
+        dist.add(-5.0)
+        dist.add(7.0)
+        assert dist.bins[0] == 1 and dist.bins[-1] == 1
+        assert dist.min_value == -5.0 and dist.max_value == 7.0
+
+    def test_incompatible_merge_refused(self):
+        a = FleetDistribution(0.0, 1.0)
+        b = FleetDistribution(0.0, 2.0)
+        with pytest.raises(FleetError):
+            a.merge(b)
+
+    def test_serialization_round_trip_exact(self):
+        dist = FleetDistribution(0.0, 1.0, max_exact=5)
+        for value in _values(30, seed=6, lo=0.0, hi=1.0):
+            dist.add(value)
+        clone = FleetDistribution.from_dict(dist.to_dict())
+        assert json.dumps(clone.to_dict(), sort_keys=True) == json.dumps(
+            dist.to_dict(), sort_keys=True
+        )
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(FleetError):
+            FleetDistribution(0.0, 1.0).percentile(50)
+
+
+BOUNDS = {"accuracy": (0.0, 1.0), "energy": (0.0, 10.0)}
+
+
+def _user_metrics(rng):
+    return {
+        "policy-a": {"accuracy": rng.random(), "energy": rng.uniform(0, 10)},
+        "policy-b": {"accuracy": rng.random(), "energy": rng.uniform(0, 10)},
+    }
+
+
+class TestFleetAggregate:
+    def test_shard_layout_invariance_bytes(self):
+        rng = random.Random(7)
+        users = [_user_metrics(rng) for _ in range(60)]
+
+        def run_sharded(sizes):
+            total = FleetAggregate(bounds=BOUNDS, max_exact=20)
+            start = 0
+            for size in sizes:
+                shard = FleetAggregate(bounds=BOUNDS, max_exact=20)
+                shard.shards = 1
+                for user in users[start : start + size]:
+                    shard.add_user(user)
+                start += size
+                total.merge(FleetAggregate.from_dict(shard.to_dict()))
+            return total
+
+        one = run_sharded([60])
+        three = run_sharded([20, 20, 20])
+        many = run_sharded([7] * 8 + [4])
+        assert one.stats_json() == three.stats_json() == many.stats_json()
+        assert (one.shards, three.shards, many.shards) == (1, 3, 9)
+
+    def test_users_counted_once_per_user(self):
+        aggregate = FleetAggregate(bounds=BOUNDS)
+        rng = random.Random(8)
+        aggregate.add_user(_user_metrics(rng))
+        aggregate.add_user(_user_metrics(rng))
+        assert aggregate.users == 2
+        assert aggregate.distribution("policy-a", "accuracy").count == 2
+
+    def test_unknown_metric_refused(self):
+        aggregate = FleetAggregate(bounds=BOUNDS)
+        with pytest.raises(FleetError):
+            aggregate.add_user({"policy-a": {"latency": 1.0}})
+
+    def test_incompatible_layout_merge_refused(self):
+        a = FleetAggregate(bounds=BOUNDS)
+        b = FleetAggregate(bounds={"accuracy": (0.0, 1.0)})
+        with pytest.raises(FleetError):
+            a.merge(b)
+
+    def test_json_round_trip_exact(self):
+        aggregate = FleetAggregate(bounds=BOUNDS, max_exact=8)
+        rng = random.Random(9)
+        for _ in range(25):
+            aggregate.add_user(_user_metrics(rng))
+        clone = FleetAggregate.from_dict(json.loads(aggregate.to_json()))
+        assert clone.to_json() == aggregate.to_json()
+
+    def test_summary_lines_render(self):
+        aggregate = FleetAggregate(
+            bounds={"event_accuracy": (0.0, 1.0), "completion_rate": (0.0, 1.0)}
+        )
+        rng = random.Random(10)
+        for _ in range(5):
+            aggregate.add_user(
+                {
+                    "Origin": {
+                        "event_accuracy": rng.random(),
+                        "completion_rate": rng.random(),
+                    }
+                }
+            )
+        text = "\n".join(aggregate.summary_lines())
+        assert "Origin" in text and "event_accuracy" in text
