@@ -17,12 +17,14 @@ exits nonzero if they diverge, which is what the CI smoke step checks
 leaves the committed JSON untouched unless ``--output`` is given).
 
 A fourth pass re-runs the cached sequential sweep under a fully
-enabled :class:`repro.obs.Observability` (tracer + metrics) and reports
-the tracing overhead as a percentage of the untraced wall time — the
-budget is <10%, enforced in ``--smoke`` mode.  Both overhead legs force
-the scalar slot loop (``use_kernel=False``): observability disables the
-vectorized kernel, so a kernel-fast baseline would misreport the kernel
-speedup as tracing overhead.
+enabled :class:`repro.obs.Observability` (tracer + metrics + a
+streaming :class:`~repro.obs.timeline.TimeSeriesRecorder` at a 50 ms
+cadence) and reports the combined tracing + live-recording overhead as
+a percentage of the untraced wall time — the budget is <10%, enforced
+in ``--smoke`` mode.  Both overhead legs force the scalar slot loop
+(``use_kernel=False``): observability disables the vectorized kernel,
+so a kernel-fast baseline would misreport the kernel speedup as tracing
+overhead.
 
 ``--kernel`` benchmarks the vectorized slot kernel instead
 (``--kernel-smoke`` is the CI shorthand for ``--kernel --smoke``): the
@@ -66,6 +68,7 @@ import math
 import numpy as np
 
 from repro.obs.observer import Observability
+from repro.obs.timeline import attach_recorder
 from repro.resilience import ChaosAction, ChaosPlan
 from repro.sim.experiment import HARExperiment, SimulationConfig
 from repro.sim.kernel import SlotKernel
@@ -662,18 +665,36 @@ def main(argv=None) -> int:
         # observability disables the vectorized kernel anyway, and a
         # kernel-fast baseline would book the kernel speedup as tracing
         # overhead and blow the budget for the wrong reason.
+        # The traced leg also streams a TimeSeriesRecorder at a hot
+        # cadence, so the <10% budget gates tracing AND live recording
+        # together — a watchable run must not cost more than a traced
+        # one did.
         reps = 3 if args.smoke else 1
         t_base, t_traced = None, None
-        for _ in range(reps):
-            t_plain_i, _ = run(cache=True, workers=1, use_kernel=False)
-            obs = Observability()
-            t_traced_i, r_traced = run(cache=True, workers=1, obs=obs, use_kernel=False)
-            t_base = t_plain_i if t_base is None else min(t_base, t_plain_i)
-            t_traced = t_traced_i if t_traced is None else min(t_traced, t_traced_i)
+        ts_samples = 0
+        with tempfile.TemporaryDirectory(prefix="bench-ts-") as ts_dir:
+            for rep in range(reps):
+                t_plain_i, _ = run(cache=True, workers=1, use_kernel=False)
+                obs = Observability()
+                recorder = attach_recorder(
+                    obs,
+                    os.path.join(ts_dir, f"timeseries-{rep}.jsonl"),
+                    interval_s=0.05,
+                )
+                t_traced_i, r_traced = run(
+                    cache=True, workers=1, obs=obs, use_kernel=False
+                )
+                recorder.close()
+                ts_samples = recorder.samples_written
+                t_base = t_plain_i if t_base is None else min(t_base, t_plain_i)
+                t_traced = (
+                    t_traced_i if t_traced is None else min(t_traced, t_traced_i)
+                )
         overhead = (t_traced - t_base) / t_base
         print(
             f"traced cached       : {t_traced:8.2f} s "
-            f"({overhead:+.1%} vs untraced, {len(obs.tracer.events)} events)",
+            f"({overhead:+.1%} vs untraced, {len(obs.tracer.events)} events, "
+            f"{ts_samples} timeseries sample(s))",
             flush=True,
         )
 
@@ -720,6 +741,7 @@ def main(argv=None) -> int:
             "overhead_fraction": round(overhead, 4),
             "budget_fraction": OVERHEAD_BUDGET,
             "trace_events": len(obs.tracer.events),
+            "timeseries_samples": ts_samples,
         },
         "records_identical": identical,
     }

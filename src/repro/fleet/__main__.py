@@ -6,13 +6,21 @@ Usage::
         [--policy origin|aas|aasr|rr] [--rr-length 12] [--n-windows 600]
         [--timelines 4] [--shard-size 256] [--workers 1]
         [--journal fleet.journal] [--no-resume] [--per-user]
-        [--output fleet.json]
+        [--output fleet.json] [--run-dir runs/cohort-a] [--registry DIR]
     python -m repro.fleet summarize fleet.json
 
 ``run`` trains (or store-loads) the standard experiment, simulates the
 cohort and prints the users/second headline plus per-policy percentile
 tables; ``--output`` also writes the exact aggregate as JSON, which
 ``summarize`` re-renders without re-simulating.
+
+``--run-dir DIR`` arms the run for live observability: the journal goes
+to ``DIR/fleet.journal``, a :class:`~repro.obs.timeline.TimeSeriesRecorder`
+streams ``DIR/timeseries.jsonl``, and the final metrics land in
+``DIR/metrics.json`` — attach ``python -m repro.obs.watch DIR`` from
+another terminal while it runs.  ``--registry DIR`` registers the
+finished run in a :class:`~repro.obs.runs.RunRegistry` for
+``python -m repro.obs.runs ls|info|diff``.
 """
 
 from __future__ import annotations
@@ -69,6 +77,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reference per-user loop instead of kernel mega-batching",
     )
     run.add_argument("--output", default=None, help="write the result JSON here")
+    run.add_argument(
+        "--run-dir",
+        default=None,
+        help="watchable run directory (journal + timeseries + metrics)",
+    )
+    run.add_argument(
+        "--timeseries-interval",
+        type=float,
+        default=1.0,
+        help="seconds between timeseries samples (with --run-dir)",
+    )
+    run.add_argument(
+        "--registry",
+        default=None,
+        help="register the finished run in this repro.obs.runs registry",
+    )
 
     summarize = commands.add_parser(
         "summarize", help="re-render a saved fleet result"
@@ -115,13 +139,71 @@ def _run(args: argparse.Namespace) -> int:
         policies=[_policy(args.policy, args.rr_length)],
         shard_size=args.shard_size,
     )
-    result = runner.run(
-        workers=args.workers,
-        mega=not args.per_user,
-        journal=args.journal,
-        resume=not args.no_resume,
-    )
+
+    journal = args.journal
+    obs = None
+    recorder = None
+    if args.run_dir:
+        from repro.obs import Observability
+        from repro.obs.timeline import attach_recorder
+
+        os.makedirs(args.run_dir, exist_ok=True)
+        journal = journal or os.path.join(args.run_dir, "fleet.journal")
+        obs = Observability()
+        recorder = attach_recorder(
+            obs,
+            os.path.join(args.run_dir, "timeseries.jsonl"),
+            interval_s=args.timeseries_interval,
+            meta={
+                "job": "fleet",
+                "users": args.users,
+                "dataset": args.dataset,
+                "policy": args.policy,
+                "workers": args.workers,
+            },
+        )
+        print(f"watchable run dir: {args.run_dir}")
+    elif args.registry:
+        from repro.obs import Observability
+
+        obs = Observability()
+
+    try:
+        result = runner.run(
+            workers=args.workers,
+            mega=not args.per_user,
+            journal=journal,
+            resume=not args.no_resume,
+            obs=obs,
+        )
+    finally:
+        if recorder is not None:
+            recorder.close()
     print(result.summary())
+
+    if args.run_dir and obs is not None:
+        obs.export(metrics_path=os.path.join(args.run_dir, "metrics.json"))
+    if args.registry and obs is not None:
+        from repro.obs.runs import RunRegistry
+
+        run_id = RunRegistry(args.registry).record(
+            kind="fleet",
+            metrics=obs.metrics,
+            meta={
+                "users": result.users,
+                "policies": result.policy_names,
+                "workers": args.workers,
+                "elapsed_s": round(result.elapsed_s, 3),
+                "users_per_second": round(result.users_per_second, 1),
+            },
+            timeseries=(
+                os.path.join(args.run_dir, "timeseries.jsonl")
+                if args.run_dir
+                else None
+            ),
+            run_dir=args.run_dir,
+        )
+        print(f"registered run {run_id} in {args.registry}")
 
     if args.output:
         document = {

@@ -515,6 +515,18 @@ class FleetRunner:
         obs = obs if obs is not None else NULL_OBS
         shards = self.shards()
         started = time.perf_counter()
+        if obs.enabled:
+            obs.metrics.gauge("fleet.total_users").set(self.spec.size)
+            obs.metrics.gauge("fleet.total_shards").set(len(shards))
+            timeseries = obs.timeseries
+            if timeseries is not None:
+                timeseries.mark(
+                    "fleet.run.started",
+                    users=self.spec.size,
+                    shards=len(shards),
+                    policies=len(self.policies),
+                )
+                timeseries.sample(force=True)
 
         book: Optional[SweepJournal] = None
         if journal is not None:
@@ -551,6 +563,15 @@ class FleetRunner:
             obs.metrics.inc("fleet.journal.hit", sum(journal_hits))
             obs.metrics.inc("fleet.failed_shards", len(failed))
             obs.metrics.timer("fleet.run").record(elapsed)
+            timeseries = obs.timeseries
+            if timeseries is not None:
+                timeseries.mark(
+                    "fleet.run.finished",
+                    users=total.users,
+                    failed=len(failed),
+                    elapsed_s=round(elapsed, 3),
+                )
+                timeseries.sample(force=True)
         result = FleetResult(
             aggregate=total,
             spec=self.spec,
@@ -571,6 +592,25 @@ class FleetRunner:
         return result
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record_shard_progress(obs: Observability, lo: int, hi: int) -> None:
+        """Count one simulated shard toward live progress.
+
+        Journal-hit shards never pass through here, so the progress
+        counters (and any watcher rate derived from them) reflect users
+        actually simulated this run.  The totals are identical for any
+        worker layout — every simulated shard is counted exactly once,
+        parent-side — so the counters stay inside the deterministic
+        metrics contract.
+        """
+        if not obs.enabled:
+            return
+        obs.metrics.inc("fleet.progress.users", hi - lo)
+        obs.metrics.inc("fleet.progress.shards")
+        timeseries = obs.timeseries
+        if timeseries is not None:
+            timeseries.sample()
 
     def _open_journal(self, path: str, *, resume: bool) -> SweepJournal:
         try:
@@ -625,6 +665,7 @@ class FleetRunner:
                 payloads[index] = payload
                 if book is not None:
                     book.record(shard_cell(lo, hi), payload)
+                self._record_shard_progress(obs, lo, hi)
         elif pending:
             failed = self._run_pool(
                 shards,
@@ -675,9 +716,11 @@ class FleetRunner:
         ]
 
         def checkpoint(outcome: Any) -> None:
-            if outcome.ok and book is not None:
+            if outcome.ok:
                 index = pending[outcome.index]
-                book.record(shard_cell(*shards[index]), outcome.result)
+                if book is not None:
+                    book.record(shard_cell(*shards[index]), outcome.result)
+                self._record_shard_progress(obs, *shards[index])
 
         pool = SupervisedPool(
             workers,

@@ -18,6 +18,18 @@ stack:
     ``HARExperiment.run(obs=...)``, ``PolicySweep.run(obs=...)`` and the
     WSN/energy/fault layers; :data:`NULL_OBS` is the zero-overhead
     default.
+``repro.obs.timeline``
+    :class:`TimeSeriesRecorder` — streams cadenced metric snapshots to
+    ``timeseries.jsonl`` so in-flight runs can be watched live.
+``repro.obs.runs``
+    Run registry: ``python -m repro.obs.runs ls|info|diff`` over
+    finished runs' metadata + final metrics.
+``repro.obs.watch``
+    ``python -m repro.obs.watch <run-dir>`` — live terminal dashboard
+    tailing an in-flight run's journal + timeseries (read-only).
+``repro.obs.bench``
+    ``python -m repro.obs.bench update|check`` — benchmark trajectory
+    ledger + headline-metric regression gate.
 ``repro.obs.summarize``
     ``python -m repro.obs.summarize trace.jsonl`` — per-run report with
     per-node timelines, top timers and the fault ledger.
@@ -48,6 +60,11 @@ from repro.obs.schema import (
     TRACE_SCHEMA_VERSION,
     check_schema_changelog,
 )
+from repro.obs.timeline import (
+    TimeSeriesRecorder,
+    attach_recorder,
+    read_timeseries,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -76,4 +93,7 @@ __all__ = [
     "Tracer",
     "read_trace",
     "write_trace",
+    "TimeSeriesRecorder",
+    "attach_recorder",
+    "read_timeseries",
 ]

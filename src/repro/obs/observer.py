@@ -70,6 +70,12 @@ class Observability:
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional :class:`~repro.obs.timeline.TimeSeriesRecorder`
+        #: (installed by ``repro.obs.timeline.attach_recorder``).  When
+        #: set, long-running paths stream cadenced metric snapshots a
+        #: live watcher can tail; when ``None`` those sites skip with
+        #: one attribute load.
+        self.timeseries: Optional[Any] = None
         self._scopes: Dict[str, _TimedScope] = {}
 
     def timed(self, name: str) -> _TimedScope:
@@ -112,6 +118,7 @@ class NullObservability(Observability):
     def __init__(self) -> None:
         self.tracer = NULL_TRACER
         self.metrics = NullMetrics()
+        self.timeseries = None
 
     def timed(self, name: str) -> _NullScope:  # noqa: ARG002
         return _NULL_SCOPE

@@ -1,0 +1,331 @@
+"""Run registry: an index of finished runs for cross-run comparison.
+
+Every instrumented job (a fleet cohort, a sweep, a benchmark) can
+register its outcome — run metadata, the final metrics snapshot, and a
+pointer to its timeseries stream — under a registry directory::
+
+    registry = RunRegistry(".repro-runs")
+    registry.record(
+        kind="fleet",
+        metrics=obs.metrics,
+        meta={"users": 10_000, "policies": 3},
+        timeseries="runs/cohort-a/timeseries.jsonl",
+    )
+
+and the CLI answers the questions a registry exists for::
+
+    python -m repro.obs.runs ls                 # what ran, when, headline
+    python -m repro.obs.runs info  <run-id>     # one run, in full
+    python -m repro.obs.runs diff  <a> <b>      # counter-by-counter delta
+
+The registry is a plain directory tree — one subdirectory per run
+holding ``runmeta.json`` + ``metrics.json`` — so it needs no daemon,
+survives partial writes (a run missing either file is listed as
+damaged, never fatal), and can be rsynced or committed wholesale.  The
+root resolves from, in order: the explicit argument, ``$REPRO_RUNS_DIR``,
+``.repro-runs`` under the working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RunRegistry", "RunRecord", "default_root", "main"]
+
+#: Version of the per-run ``runmeta.json`` layout.
+RUNMETA_SCHEMA_VERSION = 1
+
+#: Environment override for the registry root.
+ROOT_ENV = "REPRO_RUNS_DIR"
+
+#: Fallback registry root (relative to the working directory).
+DEFAULT_ROOT = ".repro-runs"
+
+
+def default_root(explicit: Optional[str] = None) -> str:
+    """Resolve the registry root: explicit arg > env > ``.repro-runs``."""
+    if explicit:
+        return explicit
+    return os.environ.get(ROOT_ENV) or DEFAULT_ROOT
+
+
+@dataclass
+class RunRecord:
+    """One registered run, as loaded back from the registry."""
+
+    run_id: str
+    kind: str
+    recorded_utc: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    timeseries: Optional[str] = None
+    run_dir: Optional[str] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Set when the entry is missing/corrupt files (still listable).
+    damaged: Optional[str] = None
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self.metrics.get("counters", {}))
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(self.metrics.get("gauges", {}))
+
+    def headline(self) -> str:
+        """One-line ``ls`` summary: id, kind, when, a salient number."""
+        if self.damaged:
+            return f"{self.run_id}  DAMAGED ({self.damaged})"
+        counters = self.counters
+        salient = ""
+        for name in ("fleet.users", "sweep.progress.cells", "sim.runs"):
+            if name in counters:
+                salient = f"{name}={counters[name]:g}"
+                break
+        return (
+            f"{self.run_id}  kind={self.kind}  recorded={self.recorded_utc}"
+            + (f"  {salient}" if salient else "")
+        )
+
+
+class RunRegistry:
+    """Directory-backed index of finished runs."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = os.path.abspath(default_root(root))
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        *,
+        kind: str,
+        metrics: Union[MetricsRegistry, Dict[str, Any], None] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        timeseries: Optional[str] = None,
+        run_dir: Optional[str] = None,
+        run_id: Optional[str] = None,
+    ) -> str:
+        """Register one finished run; returns its run id.
+
+        ``metrics`` may be a live :class:`MetricsRegistry` (snapshotted
+        via ``to_dict``) or an already-exported dict.  ``run_id``
+        defaults to a timestamp-derived unique id; pass one explicitly
+        when the caller owns naming (tests, CI).
+        """
+        if run_id is None:
+            run_id = self._fresh_run_id(kind)
+        if os.sep in run_id or run_id in (".", ".."):
+            raise ObservabilityError(f"invalid run id {run_id!r}")
+        entry = os.path.join(self.root, run_id)
+        if os.path.exists(entry):
+            raise ObservabilityError(
+                f"run {run_id!r} already registered under {self.root}"
+            )
+        if isinstance(metrics, MetricsRegistry):
+            snapshot = metrics.to_dict()
+        else:
+            snapshot = dict(metrics or {})
+        runmeta = {
+            "schema_version": RUNMETA_SCHEMA_VERSION,
+            "run_id": run_id,
+            "kind": str(kind),
+            "recorded_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "meta": dict(meta or {}),
+            "timeseries": os.path.abspath(timeseries) if timeseries else None,
+            "run_dir": os.path.abspath(run_dir) if run_dir else None,
+        }
+        os.makedirs(entry, exist_ok=True)
+        self._write_json(os.path.join(entry, "runmeta.json"), runmeta)
+        self._write_json(os.path.join(entry, "metrics.json"), snapshot)
+        return run_id
+
+    def _fresh_run_id(self, kind: str) -> str:
+        stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime())
+        base = f"{stamp}-{kind}"
+        run_id = base
+        suffix = 1
+        while os.path.exists(os.path.join(self.root, run_id)):
+            run_id = f"{base}-{suffix}"
+            suffix += 1
+        return run_id
+
+    @staticmethod
+    def _write_json(path: str, payload: Dict[str, Any]) -> None:
+        # Write-then-rename so a crash mid-record leaves no torn JSON.
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def ls(self) -> List[RunRecord]:
+        """Every registered run, newest last (lexicographic id order)."""
+        if not os.path.isdir(self.root):
+            return []
+        records = []
+        for name in sorted(os.listdir(self.root)):
+            if os.path.isdir(os.path.join(self.root, name)):
+                records.append(self.load(name))
+        return records
+
+    def load(self, run_id: str) -> RunRecord:
+        """Load one run; damaged entries come back flagged, not raised."""
+        entry = os.path.join(self.root, run_id)
+        if not os.path.isdir(entry):
+            raise ObservabilityError(
+                f"run {run_id!r} is not registered under {self.root}"
+            )
+        try:
+            with open(os.path.join(entry, "runmeta.json")) as handle:
+                runmeta = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            return RunRecord(
+                run_id=run_id,
+                kind="?",
+                recorded_utc="?",
+                damaged=f"runmeta.json: {error}",
+            )
+        try:
+            with open(os.path.join(entry, "metrics.json")) as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            snapshot = {}
+            damaged: Optional[str] = f"metrics.json: {error}"
+        else:
+            damaged = None
+        return RunRecord(
+            run_id=run_id,
+            kind=runmeta.get("kind", "?"),
+            recorded_utc=runmeta.get("recorded_utc", "?"),
+            meta=runmeta.get("meta", {}),
+            timeseries=runmeta.get("timeseries"),
+            run_dir=runmeta.get("run_dir"),
+            metrics=snapshot,
+            damaged=damaged,
+        )
+
+    def diff(self, run_a: str, run_b: str) -> List[Dict[str, Any]]:
+        """Counter-by-counter comparison of two runs.
+
+        Returns rows ``{"name", "a", "b", "delta"}`` over the union of
+        counter names (missing = 0.0), sorted by name, changed rows
+        only.
+        """
+        a, b = self.load(run_a), self.load(run_b)
+        for record in (a, b):
+            if record.damaged:
+                raise ObservabilityError(
+                    f"cannot diff damaged run {record.run_id!r} "
+                    f"({record.damaged})"
+                )
+        names = sorted(set(a.counters) | set(b.counters))
+        rows = []
+        for name in names:
+            va = float(a.counters.get(name, 0.0))
+            vb = float(b.counters.get(name, 0.0))
+            if va != vb:
+                rows.append({"name": name, "a": va, "b": vb, "delta": vb - va})
+        return rows
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _render_info(record: RunRecord) -> List[str]:
+    lines = [record.headline()]
+    if record.damaged:
+        return lines
+    if record.meta:
+        lines.append("meta:")
+        for key in sorted(record.meta):
+            lines.append(f"  {key}: {record.meta[key]}")
+    if record.run_dir:
+        lines.append(f"run_dir: {record.run_dir}")
+    if record.timeseries:
+        lines.append(f"timeseries: {record.timeseries}")
+    counters = record.counters
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]:g}")
+    gauges = record.gauges
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]:g}")
+    return lines
+
+
+def _render_diff(rows: List[Dict[str, Any]], run_a: str, run_b: str) -> List[str]:
+    if not rows:
+        return [f"no counter differences between {run_a} and {run_b}"]
+    name_w = max(len(row["name"]) for row in rows)
+    lines = [f"{'counter':<{name_w}}  {'a':>14}  {'b':>14}  {'delta':>14}"]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{name_w}}  {row['a']:>14g}  {row['b']:>14g}  "
+            f"{row['delta']:>+14g}"
+        )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.runs",
+        description="Inspect the registry of finished runs.",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help=f"registry directory (default ${ROOT_ENV} or {DEFAULT_ROOT})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("ls", help="list registered runs")
+    info = commands.add_parser("info", help="show one run in full")
+    info.add_argument("run_id")
+    diff = commands.add_parser("diff", help="compare two runs' counters")
+    diff.add_argument("run_a")
+    diff.add_argument("run_b")
+    args = parser.parse_args(argv)
+
+    registry = RunRegistry(args.root)
+    try:
+        if args.command == "ls":
+            records = registry.ls()
+            if not records:
+                print(f"no runs registered under {registry.root}")
+            for record in records:
+                print(record.headline())
+        elif args.command == "info":
+            for line in _render_info(registry.load(args.run_id)):
+                print(line)
+        else:
+            rows = registry.diff(args.run_a, args.run_b)
+            for line in _render_diff(rows, args.run_a, args.run_b):
+                print(line)
+    except ObservabilityError as error:
+        print(f"error: {error}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

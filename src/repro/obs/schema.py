@@ -18,7 +18,7 @@ from repro.errors import ObservabilityError
 #: Version of the on-disk trace format.  Bump it whenever an event kind
 #: is added/removed/renamed or a required payload field changes, and add
 #: a matching entry to :data:`SCHEMA_CHANGELOG`.
-TRACE_SCHEMA_VERSION: int = 1
+TRACE_SCHEMA_VERSION: int = 2
 
 #: ``{version: what changed}`` — the schema's append-only history.
 SCHEMA_CHANGELOG: Dict[int, str] = {
@@ -28,6 +28,14 @@ SCHEMA_CHANGELOG: Dict[int, str] = {
         "nvp.task_aborted, inference.completed/inference.aborted, "
         "message.sent/message.dropped, vote.cast, confidence.updated, "
         "fault.fired"
+    ),
+    2: (
+        "streaming time-series: timeseries.sample (periodic cumulative "
+        "counter/gauge snapshot with per-interval deltas, emitted by "
+        "repro.obs.timeline.TimeSeriesRecorder into timeseries.jsonl) "
+        "and timeseries.mark (labelled lifecycle points: run/shard "
+        "boundaries, retries, checkpoints); v1 trace files remain "
+        "readable"
     ),
 }
 
@@ -55,6 +63,9 @@ EVENT_KINDS: Dict[str, Tuple[str, ...]] = {
     "confidence.updated": ("label", "confidence"),
     # fault machinery
     "fault.fired": ("fault",),
+    # streaming time-series (repro.obs.timeline)
+    "timeseries.sample": ("t_s", "counters"),
+    "timeseries.mark": ("t_s", "label"),
 }
 
 #: Kind of the mandatory first record of a JSONL trace file.

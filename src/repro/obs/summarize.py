@@ -4,11 +4,18 @@ Usage::
 
     python -m repro.obs.summarize trace.jsonl [--metrics metrics.json]
         [--run N] [--width 100] [--output report.txt]
+        [--fleet-journal fleet.journal] [--timeseries timeseries.jsonl]
 
 The report shows, per run in the trace: a per-node slot timeline (who
 was scheduled, who completed, where messages were dropped, where faults
 fired), the host's vote row, the fault ledger, and — when a metrics
 snapshot is given — the top wall-time timers and headline counters.
+
+``--fleet-journal`` adds a fleet progress/aggregate line read from a
+fleet run's shard journal, and ``--timeseries`` a stream summary from a
+:mod:`repro.obs.timeline` recording; with either (or ``--metrics``) the
+trace argument is optional — ``summarize`` then reports on the run
+artifacts alone.
 """
 
 from __future__ import annotations
@@ -185,6 +192,70 @@ def _kernel_line(exported: Dict[str, Any]) -> Optional[str]:
     return f"{line} ({reasons})" if reasons else line
 
 
+def _fleet_line(exported: Dict[str, Any]) -> Optional[str]:
+    """One-line fleet summary, or ``None`` if no fleet ran."""
+    counters = exported["counters"]
+    users = int(counters.get("fleet.users", 0))
+    shards = int(counters.get("fleet.shards", 0))
+    if not users and not shards:
+        return None
+    parts = [f"fleet: {users} user(s) over {shards} shard(s)"]
+    hits = int(counters.get("fleet.journal.hit", 0))
+    if hits:
+        parts.append(f"{hits} journal hit(s)")
+    lost = int(counters.get("fleet.failed_shards", 0))
+    if lost:
+        parts.append(f"{lost} failed shard(s)")
+    timer = exported["timers"].get("fleet.run")
+    if timer and timer["total_s"] > 0:
+        parts.append(f"{users / timer['total_s']:,.0f} users/s")
+    return ", ".join(parts)
+
+
+def fleet_journal_lines(path: str) -> List[str]:
+    """Fleet progress read straight from a shard journal (read-only).
+
+    Works mid-flight: the journal is parsed tolerantly (torn tails
+    skipped), so this is also the watcher's progress source.
+    """
+    from repro.obs.watch import _read_journal_cells, _shard_span
+
+    cells = _read_journal_cells(path)
+    spans = [span for span in map(_shard_span, cells) if span is not None]
+    users = sum(hi - lo for lo, hi in spans)
+    lines = [
+        f"fleet journal: {len(spans)} shard(s) checkpointed, {users} user(s)"
+    ]
+    other = len(cells) - len(spans)
+    if other:
+        lines.append(f"  plus {other} non-shard cell(s) (sweep journal?)")
+    return lines
+
+
+def timeseries_lines(path: str) -> List[str]:
+    """Summary of a :mod:`repro.obs.timeline` stream."""
+    from repro.obs.timeline import _rate_from_samples, read_timeseries
+
+    header, samples, marks = read_timeseries(path)
+    span = float(samples[-1]["t_s"]) - float(samples[0]["t_s"]) if samples else 0.0
+    lines = [
+        f"timeseries: {len(samples)} sample(s), {len(marks)} mark(s) "
+        f"over {span:.1f} s"
+    ]
+    if samples:
+        final = samples[-1]["counters"]
+        for name, label in (
+            ("fleet.progress.users", "users/s"),
+            ("sweep.progress.cells", "cells/s"),
+        ):
+            if name in final:
+                rate = _rate_from_samples(samples, name)
+                lines.append(f"  {name}: {final[name]:g} total, {rate:.1f} {label}")
+    for mark in marks[-3:]:
+        lines.append(f"  mark {mark['t_s']:.1f}s: {mark['label']}")
+    return lines
+
+
 def _metrics_section(metrics: MetricsRegistry, top: int = 10) -> List[str]:
     exported = metrics.to_dict()
     lines: List[str] = []
@@ -197,6 +268,9 @@ def _metrics_section(metrics: MetricsRegistry, top: int = 10) -> List[str]:
     kernel = _kernel_line(exported)
     if kernel is not None:
         lines.append(kernel)
+    fleet = _fleet_line(exported)
+    if fleet is not None:
+        lines.append(fleet)
     timers = exported["timers"]
     if timers:
         lines.append("top timers (by total wall time):")
@@ -299,7 +373,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.summarize", description=__doc__.splitlines()[0]
     )
-    parser.add_argument("trace", help="JSONL trace written by Tracer.write_jsonl")
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="JSONL trace written by Tracer.write_jsonl (optional with "
+        "--metrics/--fleet-journal/--timeseries)",
+    )
     parser.add_argument(
         "--metrics", default=None, help="metrics snapshot JSON (Observability.export)"
     )
@@ -308,18 +388,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--width", type=int, default=100, help="timeline columns")
     parser.add_argument(
+        "--fleet-journal", default=None, help="fleet shard journal to report on"
+    )
+    parser.add_argument(
+        "--timeseries", default=None, help="timeseries.jsonl stream to report on"
+    )
+    parser.add_argument(
         "--output", default=None, help="also write the report to this file"
     )
     args = parser.parse_args(argv)
+    if args.trace is None and not (
+        args.metrics or args.fleet_journal or args.timeseries
+    ):
+        parser.error(
+            "give a trace, or at least one of "
+            "--metrics/--fleet-journal/--timeseries"
+        )
 
-    header, events = read_trace(args.trace)
     metrics = None
     if args.metrics is not None:
         with open(args.metrics) as handle:
             metrics = MetricsRegistry.from_dict(json.load(handle))
-    report = render_report(
-        header, events, metrics=metrics, run_index=args.run, width=args.width
-    )
+    sections: List[str] = []
+    if args.trace is not None:
+        header, events = read_trace(args.trace)
+        sections.append(
+            render_report(
+                header, events, metrics=metrics, run_index=args.run,
+                width=args.width,
+            )
+        )
+    elif metrics is not None:
+        sections.append("metrics report\n" + "\n".join(_metrics_section(metrics)))
+    if args.fleet_journal is not None:
+        sections.append("\n".join(fleet_journal_lines(args.fleet_journal)))
+    if args.timeseries is not None:
+        sections.append("\n".join(timeseries_lines(args.timeseries)))
+    report = "\n\n".join(sections)
     print(report)
     if args.output:
         with open(args.output, "w") as handle:

@@ -118,10 +118,15 @@ class SupervisedPool:
     backoff_s:
         Deterministic linear backoff unit: attempt ``n`` (1-based
         retry) sleeps ``backoff_s * n`` before resubmission.
+    heartbeat_s:
+        Seconds between liveness gauge updates from the supervision
+        loop (used by ``python -m repro.obs.watch``).
     obs:
-        Incident counters (``resilience.*``) land here.  Nothing is
-        recorded on the clean path, preserving the sweep's
-        workers=N == workers=1 metrics contract.
+        Incident counters (``resilience.*``) land here.  The clean path
+        records only liveness *gauges* (``resilience.heartbeat`` /
+        ``queue_depth`` / ``inflight``, every ``heartbeat_s`` seconds),
+        which are excluded from the deterministic metrics — so the
+        sweep's workers=N == workers=1 metrics contract still holds.
     """
 
     def __init__(
@@ -134,6 +139,7 @@ class SupervisedPool:
         max_retries: int = 2,
         backoff_s: float = 0.05,
         poll_s: float = 0.05,
+        heartbeat_s: float = 1.0,
         obs: Optional[Observability] = None,
     ) -> None:
         if workers < 1:
@@ -151,7 +157,10 @@ class SupervisedPool:
         self.max_retries = int(max_retries)
         self.backoff_s = float(backoff_s)
         self.poll_s = float(poll_s)
+        self.heartbeat_s = float(heartbeat_s)
         self.obs = obs if obs is not None else NULL_OBS
+        self._beats = 0
+        self._last_beat: Optional[float] = None
         self._pool: Optional[ProcessPoolExecutor] = None
         #: Incident counters of the most recent :meth:`run` (mirrors the
         #: ``resilience.*`` metrics, available even with a null obs).
@@ -191,6 +200,8 @@ class SupervisedPool:
         outcomes = [TaskOutcome(index=index) for index in range(len(tasks))]
         if not tasks:
             return outcomes
+        self._beats = 0
+        self._last_beat = None
         pending: Deque[Tuple[int, int]] = deque(
             (index, 0) for index in range(len(tasks))
         )
@@ -212,6 +223,7 @@ class SupervisedPool:
                         else None
                     )
                     inflight[future] = (index, attempt, deadline)
+                self._heartbeat(len(pending), len(inflight))
                 done, _ = wait(
                     set(inflight), timeout=self.poll_s, return_when=FIRST_COMPLETED
                 )
@@ -278,10 +290,43 @@ class SupervisedPool:
                                 self._count("requeued")
                                 pending.append((index, attempt))
                         self._restart_pool()
+            # Final beat so the gauges read drained, not last-polled.
+            self._last_beat = None
+            self._heartbeat(0, 0)
             clean = True
         finally:
             self._shutdown(force=not clean)
         return outcomes
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+
+    def _heartbeat(self, n_pending: int, n_inflight: int) -> None:
+        """Cadenced liveness gauges for the live watcher.
+
+        Runs once per ``heartbeat_s`` inside the supervision loop:
+        ``resilience.heartbeat`` (beat count), ``resilience.queue_depth``
+        and ``resilience.inflight`` say the supervisor is alive and what
+        it is holding — a watcher seeing a stale heartbeat knows the
+        parent is gone, not just slow.  Gauges only (excluded from the
+        deterministic metrics), so workers=N == workers=1 still holds
+        on the clean path.
+        """
+        if not self.obs.enabled:
+            return
+        now = time.monotonic()
+        if self._last_beat is not None and now - self._last_beat < self.heartbeat_s:
+            return
+        self._last_beat = now
+        self._beats += 1
+        metrics = self.obs.metrics
+        metrics.gauge("resilience.heartbeat").set(self._beats)
+        metrics.gauge("resilience.queue_depth").set(n_pending)
+        metrics.gauge("resilience.inflight").set(n_inflight)
+        timeseries = self.obs.timeseries
+        if timeseries is not None:
+            timeseries.sample()
 
     # ------------------------------------------------------------------
     # failure accounting
@@ -322,6 +367,12 @@ class SupervisedPool:
         self.stats[kind] = self.stats.get(kind, 0) + 1
         if self.obs.enabled:
             self.obs.metrics.inc(f"resilience.{kind}")
+            timeseries = self.obs.timeseries
+            if timeseries is not None:
+                # Incidents are rare: mark each one so the watcher can
+                # anchor retry/crash spikes to wall-clock time.
+                timeseries.mark(f"resilience.{kind}")
+                timeseries.sample()
 
     # ------------------------------------------------------------------
     # pool lifecycle

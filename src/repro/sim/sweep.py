@@ -312,6 +312,8 @@ class PolicySweep:
         result = SweepResult(activities=list(self.experiment.dataset.spec.activities))
         failed: List[FailedCell] = []
         incidents: Dict[str, int] = {}
+        if obs.enabled:
+            obs.metrics.gauge("sweep.total_cells").set(len(policies) * self.n_seeds)
         try:
             with obs.timed("sweep.run"):
                 if workers == 1 or not policies:
@@ -446,6 +448,11 @@ class PolicySweep:
                 if journal is not None:
                     journal.record(cell, encode_experiment_result(run))
                 runs[spec.name][offset] = run
+                if obs.enabled:
+                    obs.metrics.inc("sweep.progress.cells")
+                    timeseries = obs.timeseries
+                    if timeseries is not None:
+                        timeseries.sample()
         return runs
 
     def _run_parallel(
@@ -545,15 +552,23 @@ class PolicySweep:
         def checkpoint(outcome: Any) -> None:
             # Runs in completion order: each finished unit is journaled
             # immediately, so an interrupt loses at most in-flight work.
-            if journal is None or not outcome.ok:
+            if not outcome.ok:
                 return
             offset, indices = units[outcome.index]
             unit_runs = outcome.result[0]
-            for index, run in zip(indices, unit_runs):
-                journal.record(
-                    policy_cell(policies[index], base_seed + offset),
-                    encode_experiment_result(run),
-                )
+            if journal is not None:
+                for index, run in zip(indices, unit_runs):
+                    journal.record(
+                        policy_cell(policies[index], base_seed + offset),
+                        encode_experiment_result(run),
+                    )
+            if obs.enabled:
+                # One increment per finished cell, parent-side, so the
+                # total matches the sequential path for any layout.
+                obs.metrics.inc("sweep.progress.cells", len(indices))
+                timeseries = obs.timeseries
+                if timeseries is not None:
+                    timeseries.sample()
 
         pool = SupervisedPool(
             workers,

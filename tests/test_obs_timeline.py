@@ -1,0 +1,321 @@
+"""Streaming time-series: recorder semantics, emission wiring, identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.policies import origin_policy, rr_policy
+from repro.errors import ObservabilityError
+from repro.fleet import CohortSpec, FleetRunner
+from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import SCHEMA_CHANGELOG, TRACE_SCHEMA_VERSION
+from repro.obs.timeline import (
+    TimeSeriesRecorder,
+    attach_recorder,
+    read_timeseries,
+)
+from repro.resilience import SupervisedPool, SupervisedTask
+from repro.sim.sweep import PolicySweep
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture()
+def clocked(tmp_path):
+    clock = FakeClock()
+    metrics = MetricsRegistry()
+    recorder = TimeSeriesRecorder(
+        metrics,
+        str(tmp_path / "timeseries.jsonl"),
+        interval_s=1.0,
+        window=4,
+        clock=clock,
+    )
+    return clock, metrics, recorder
+
+
+class TestRecorder:
+    def test_schema_v2_has_changelog_entry(self):
+        assert TRACE_SCHEMA_VERSION == 2
+        assert 2 in SCHEMA_CHANGELOG
+        assert "timeseries" in SCHEMA_CHANGELOG[2]
+
+    def test_header_written_on_open(self, tmp_path):
+        path = tmp_path / "timeseries.jsonl"
+        recorder = TimeSeriesRecorder(
+            MetricsRegistry(), str(path), meta={"job": "test"}
+        )
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header["kind"] == "trace.header"
+        assert header["schema_version"] == TRACE_SCHEMA_VERSION
+        assert header["meta"] == {"job": "test"}
+        recorder.close()
+
+    def test_cadence_rate_limits_samples(self, clocked):
+        clock, metrics, recorder = clocked
+        assert recorder.sample() is True  # first is always due
+        assert recorder.sample() is False  # inside the interval
+        clock.now += 0.5
+        assert recorder.sample() is False
+        clock.now += 0.6
+        assert recorder.sample() is True
+        assert recorder.sample(force=True) is True  # force ignores cadence
+        assert recorder.samples_written == 3
+
+    def test_sample_payload_cumulative_and_delta(self, clocked):
+        clock, metrics, recorder = clocked
+        metrics.counter("a").inc(3)
+        recorder.sample()
+        metrics.counter("a").inc(2)
+        metrics.counter("b").inc()
+        metrics.gauge("g").set(7)
+        clock.now += 2.0
+        recorder.sample()
+        first, second = list(recorder.recent)
+        assert first["counters"] == {"a": 3.0}
+        assert first["delta"] == {"a": 3.0}
+        assert second["counters"] == {"a": 5.0, "b": 1.0}
+        assert second["delta"] == {"a": 2.0, "b": 1.0}
+        assert second["gauges"] == {"g": 7}
+        assert second["t_s"] - first["t_s"] == pytest.approx(2.0)
+
+    def test_ring_buffer_bounded_but_file_complete(self, clocked):
+        clock, metrics, recorder = clocked
+        for index in range(10):
+            metrics.counter("n").inc()
+            clock.now += 1.0
+            recorder.sample()
+        assert len(recorder.recent) == 4  # window=4
+        recorder.close(final_sample=False)
+        _, samples, _ = read_timeseries(recorder.path)
+        assert len(samples) == 10  # disk keeps everything
+
+    def test_rate_over_window(self, clocked):
+        clock, metrics, recorder = clocked
+        for _ in range(3):
+            metrics.counter("users").inc(50)
+            recorder.sample(force=True)
+            clock.now += 1.0
+        assert recorder.rate("users") == pytest.approx(50.0)
+        assert recorder.rate("missing") == 0.0
+
+    def test_marks_bypass_cadence(self, clocked):
+        clock, metrics, recorder = clocked
+        recorder.sample()
+        recorder.mark("shard.done", shard="0-4")
+        recorder.mark("retry")
+        recorder.close(final_sample=False)
+        _, _, marks = read_timeseries(recorder.path)
+        assert [m["label"] for m in marks] == ["shard.done", "retry"]
+        assert marks[0]["shard"] == "0-4"
+
+    def test_close_emits_final_sample_and_is_idempotent(self, clocked):
+        clock, metrics, recorder = clocked
+        metrics.counter("a").inc()
+        recorder.close()
+        recorder.close()
+        recorder.mark("late")  # swallowed, not an error
+        assert recorder.sample() is False
+        assert recorder.closed
+        _, samples, marks = read_timeseries(recorder.path)
+        assert len(samples) == 1 and not marks
+
+    def test_constructor_validation(self, tmp_path):
+        metrics = MetricsRegistry()
+        path = str(tmp_path / "x.jsonl")
+        with pytest.raises(ObservabilityError):
+            TimeSeriesRecorder(metrics, path, interval_s=-1)
+        with pytest.raises(ObservabilityError):
+            TimeSeriesRecorder(metrics, path, window=0)
+        with pytest.raises(ObservabilityError):
+            TimeSeriesRecorder(metrics, path, flush_every=0)
+
+
+class TestReader:
+    def test_torn_tail_skipped(self, clocked):
+        clock, metrics, recorder = clocked
+        metrics.counter("a").inc()
+        recorder.sample()
+        recorder.flush()
+        with open(recorder.path, "a") as handle:
+            handle.write('{"kind": "timeseries.sample", "payl')
+        _, samples, _ = read_timeseries(recorder.path)
+        assert len(samples) == 1
+        recorder.close(final_sample=False)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "cell"}\n')
+        with pytest.raises(ObservabilityError, match="trace.header"):
+            read_timeseries(str(path))
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace.header", "schema_version": 999, "meta": {}})
+            + "\n"
+        )
+        with pytest.raises(ObservabilityError, match="999"):
+            read_timeseries(str(path))
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ObservabilityError, match="empty"):
+            read_timeseries(str(path))
+
+
+class TestAttach:
+    def test_attach_installs_on_obs(self, tmp_path):
+        obs = Observability()
+        recorder = attach_recorder(obs, str(tmp_path / "ts.jsonl"))
+        assert obs.timeseries is recorder
+        assert recorder.metrics is obs.metrics
+        recorder.close()
+
+    def test_attach_rejects_null_obs(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="disabled"):
+            attach_recorder(NULL_OBS, str(tmp_path / "ts.jsonl"))
+
+    def test_null_obs_has_no_timeseries(self):
+        assert NULL_OBS.timeseries is None
+        assert Observability().timeseries is None
+
+
+def _double(value):
+    return value * 2
+
+
+class TestEmissionWiring:
+    def test_pool_heartbeat_gauges(self, tmp_path):
+        obs = Observability()
+        recorder = attach_recorder(obs, str(tmp_path / "ts.jsonl"), interval_s=0.0)
+        pool = SupervisedPool(2, heartbeat_s=0.0, obs=obs)
+        outcomes = pool.run([SupervisedTask(fn=_double, args=(v,)) for v in range(4)])
+        recorder.close()
+        assert [o.result for o in outcomes] == [0, 2, 4, 6]
+        metrics = obs.metrics.to_dict()
+        assert metrics["gauges"]["resilience.heartbeat"] >= 1
+        # The final beat reports a drained pool.
+        assert metrics["gauges"]["resilience.inflight"] == 0
+        assert metrics["gauges"]["resilience.queue_depth"] == 0
+        # Heartbeats are gauges only: the deterministic dict stays clean.
+        assert not any(
+            name.startswith("resilience.")
+            for name in obs.metrics.deterministic_dict()["counters"]
+        )
+        _, samples, _ = read_timeseries(str(tmp_path / "ts.jsonl"))
+        assert samples  # the supervision loop sampled the stream
+
+    def test_pool_incident_marks(self, tmp_path):
+        obs = Observability()
+        recorder = attach_recorder(obs, str(tmp_path / "ts.jsonl"), interval_s=0.0)
+        pool = SupervisedPool(1, max_retries=1, backoff_s=0.0, obs=obs)
+        outcomes = pool.run(
+            [
+                SupervisedTask(
+                    fn=_double,
+                    args_for_attempt=lambda attempt: (
+                        (1,) if attempt else ("boom", None)  # TypeError first
+                    ),
+                )
+            ]
+        )
+        recorder.close()
+        assert outcomes[0].ok
+        _, _, marks = read_timeseries(str(tmp_path / "ts.jsonl"))
+        labels = [m["label"] for m in marks]
+        assert "resilience.task_errors" in labels
+        assert "resilience.retries" in labels
+
+    def test_sweep_progress_counter_sequential(self, tiny_experiment, tmp_path):
+        obs = Observability()
+        attach_recorder(obs, str(tmp_path / "ts.jsonl"), interval_s=0.0)
+        policies = [origin_policy(3), rr_policy(3)]
+        sweep = PolicySweep(tiny_experiment, n_seeds=2, include_baselines=False)
+        sweep.run(policies=policies, obs=obs)
+        obs.timeseries.close()
+        assert obs.metrics.counter("sweep.progress.cells").value == 4
+        assert obs.metrics.to_dict()["gauges"]["sweep.total_cells"] == 4
+        _, samples, _ = read_timeseries(str(tmp_path / "ts.jsonl"))
+        final = samples[-1]["counters"]
+        assert final["sweep.progress.cells"] == 4.0
+
+    def test_sweep_progress_counter_parallel_matches(self, tiny_experiment):
+        policies = [origin_policy(3), rr_policy(3)]
+        sequential = Observability()
+        PolicySweep(tiny_experiment, n_seeds=2, include_baselines=False).run(
+            policies=policies, obs=sequential
+        )
+        parallel = Observability()
+        PolicySweep(tiny_experiment, n_seeds=2, include_baselines=False).run(
+            policies=policies, obs=parallel, workers=2
+        )
+        assert (
+            parallel.metrics.counter("sweep.progress.cells").value
+            == sequential.metrics.counter("sweep.progress.cells").value
+            == 4
+        )
+
+
+class TestFleetIdentity:
+    """Acceptance: a recorded fleet run is byte-identical to a bare one."""
+
+    @pytest.fixture(scope="class")
+    def runner(self, tiny_experiment):
+        spec = CohortSpec(
+            size=6, seed=9, base=tiny_experiment.config, n_timelines=2
+        )
+        return FleetRunner(
+            tiny_experiment, spec, policies=[origin_policy(6)], shard_size=3
+        )
+
+    def test_recorded_run_byte_identical(self, runner, tmp_path):
+        bare = runner.run()
+        obs = Observability()
+        recorder = attach_recorder(
+            obs, str(tmp_path / "ts.jsonl"), interval_s=0.0
+        )
+        recorded = runner.run(obs=obs)
+        recorder.close()
+        assert recorded.aggregate.stats_json() == bare.aggregate.stats_json()
+
+    def test_fleet_progress_counters_and_marks(self, runner, tmp_path):
+        obs = Observability()
+        recorder = attach_recorder(
+            obs, str(tmp_path / "ts.jsonl"), interval_s=0.0
+        )
+        result = runner.run(obs=obs)
+        recorder.close()
+        assert result.users == 6
+        counters = obs.metrics.to_dict()["counters"]
+        gauges = obs.metrics.to_dict()["gauges"]
+        assert counters["fleet.progress.users"] == 6.0
+        assert counters["fleet.progress.shards"] == 2.0
+        assert gauges["fleet.total_users"] == 6
+        assert gauges["fleet.total_shards"] == 2
+        _, samples, marks = read_timeseries(str(tmp_path / "ts.jsonl"))
+        labels = [m["label"] for m in marks]
+        assert labels[0] == "fleet.run.started"
+        assert labels[-1] == "fleet.run.finished"
+        assert samples[-1]["counters"]["fleet.progress.users"] == 6.0
+
+    def test_journal_hits_excluded_from_progress(self, runner, tmp_path):
+        journal = str(tmp_path / "fleet.journal")
+        runner.run(journal=journal)  # populate every shard cell
+        obs = Observability()
+        resumed = runner.run(journal=journal, obs=obs)
+        assert resumed.journal_hits == 2
+        counters = obs.metrics.to_dict()["counters"]
+        assert counters.get("fleet.progress.users", 0.0) == 0.0
+        assert counters["fleet.journal.hit"] == 2.0
