@@ -1,0 +1,244 @@
+"""Benchmark the online serving path: identity gate + sessions/core.
+
+Exercises ``repro.serve`` end to end against the standard MHEALTH-like
+experiment and writes the machine-readable results to
+``benchmarks/results/BENCH_serve.json``:
+
+1. **Identity** — one lockstep :func:`live_session` per policy in the
+   grid (RR, AAS, AAS-R, Origin); the served decision stream *and*
+   active-set stream must be byte-identical to the offline
+   ``HARExperiment.run`` reference.
+2. **Replay identity** — a prerecorded :class:`ReplayTape` pipelined
+   through the server under the ``block`` overload policy must
+   reproduce its expected labels/actives with zero mismatches.
+3. **Headline** — :func:`run_load` drives ``--sessions`` concurrent
+   replay sessions (>= 100 by default) through one in-process server
+   and reports **sessions/core**: how many always-on devices one CPU
+   core can serve in real time, given one window every
+   ``window_duration_s`` (2.56 s) per device.
+4. **Shed accounting** — a deliberately slow ``shed``-mode server must
+   shed at least one window and satisfy ``decisions + shed == windows``.
+
+``--smoke`` shrinks the horizon/session count so CI finishes quickly
+and leaves the committed JSON untouched unless ``--output`` is given;
+the identity, replay and accounting gates all still apply.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+
+from repro.core.policies import aas_policy, aasr_policy, origin_policy, rr_policy
+from repro.serve.client import live_session, record_tape, replay_session, run_load
+from repro.serve.server import ServeServer
+from repro.serve.session import EngineCatalog, ServeProfile
+from repro.sim.experiment import HARExperiment, SimulationConfig
+
+try:
+    from benchmarks.runmeta import WallClock, write_stamped_json
+except ImportError:  # invoked as a script: sibling import
+    from runmeta import WallClock, write_stamped_json
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "results", "BENCH_serve.json")
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short horizon + fewer sessions; enforce gates, skip the JSON",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=None, help="concurrent sessions for the headline"
+    )
+    parser.add_argument(
+        "--tapes", type=int, default=None, help="distinct device tapes to round-robin"
+    )
+    parser.add_argument(
+        "--n-windows", type=int, default=None, help="slots per session"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="experiment seed")
+    parser.add_argument(
+        "--session-seed", type=int, default=9, help="first per-session device seed"
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"JSON destination (default {DEFAULT_OUTPUT}; never written in "
+        "--smoke mode unless given explicitly)",
+    )
+    args = parser.parse_args(argv)
+    if args.sessions is None:
+        args.sessions = 20 if args.smoke else 128
+    if args.tapes is None:
+        args.tapes = 2 if args.smoke else 4
+    if args.n_windows is None:
+        args.n_windows = 40 if args.smoke else 120
+    return args
+
+
+async def identity_leg(server, experiment, policies, seed):
+    """Lockstep sessions vs offline runs: byte-identical or die."""
+    rows = []
+    for policy in policies:
+        served = await live_session(
+            "127.0.0.1", server.port, experiment, policy, seed=seed
+        )
+        offline = experiment.run(policy, seed=seed)
+        labels = [record.predicted_label for record in offline.records]
+        actives = [list(record.active_nodes) for record in offline.records]
+        if served.labels != labels:
+            raise SystemExit(
+                f"FAIL: served decisions diverge from offline run for {policy.name}"
+            )
+        if served.actives != actives:
+            raise SystemExit(
+                f"FAIL: served schedules diverge from offline run for {policy.name}"
+            )
+        rows.append(
+            {
+                "policy": policy.name,
+                "windows": len(labels),
+                "decisions": sum(1 for label in served.labels if label is not None),
+                "identical": True,
+            }
+        )
+        print(f"identity: {policy.name} byte-identical over {len(labels)} windows")
+    return rows
+
+
+async def load_leg(server, tapes, sessions):
+    """The headline: concurrent replay sessions through one server."""
+    result = await replay_session("127.0.0.1", server.port, tapes[0])
+    if result.mismatches:
+        raise SystemExit(
+            f"FAIL: replay tape produced {result.mismatches} mismatches"
+        )
+    print("replay: tape byte-identical under block policy")
+
+    stats = await run_load("127.0.0.1", server.port, tapes, sessions)
+    if stats.mismatches:
+        raise SystemExit(
+            f"FAIL: {stats.mismatches} mismatches across {sessions} sessions"
+        )
+    if stats.shed:
+        raise SystemExit(
+            f"FAIL: block-policy server shed {stats.shed} windows"
+        )
+    return {
+        "sessions": stats.sessions,
+        "windows": stats.windows,
+        "decisions": stats.decisions,
+        "wall_s": round(stats.wall_s, 3),
+        "windows_per_s": round(stats.windows_per_s, 1),
+        "sessions_per_core": round(stats.sessions_per_core, 1),
+        "mismatches": 0,
+    }
+
+
+async def shed_leg(catalog, tape):
+    """A slow worker under ``shed`` must account for every window."""
+    server = ServeServer(
+        catalog,
+        overload="shed",
+        queue_size=4,
+        shed_watermark=1,
+        worker_pause_s=0.002,
+    )
+    await server.start()
+    try:
+        result = await replay_session(
+            "127.0.0.1", server.port, tape, check=False
+        )
+    finally:
+        await server.stop()
+    shed = sum(result.shed)
+    if shed == 0:
+        raise SystemExit("FAIL: slow shed-mode server shed nothing")
+    if result.stats["decisions"] + result.stats["shed"] != result.stats["windows"]:
+        raise SystemExit(
+            f"FAIL: shed accounting leaks windows ({result.stats})"
+        )
+    print(
+        f"shed: {shed}/{len(result.shed)} windows shed, accounting exact"
+    )
+    return {
+        "windows": result.stats["windows"],
+        "decisions": result.stats["decisions"],
+        "shed": result.stats["shed"],
+        "accounting_exact": True,
+    }
+
+
+async def run_bench(args, experiment, policies):
+    catalog = EngineCatalog([ServeProfile.from_experiment("default", experiment)])
+    server = ServeServer(catalog)
+    await server.start()
+    try:
+        identity = await identity_leg(
+            server, experiment, policies, args.session_seed
+        )
+        tapes = [
+            record_tape(
+                experiment, origin_policy(6), seed=args.session_seed + index
+            )
+            for index in range(args.tapes)
+        ]
+        load = await load_leg(server, tapes, args.sessions)
+    finally:
+        await server.stop()
+    shed = await shed_leg(catalog, tapes[0])
+    return identity, load, shed
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    print(
+        f"serve bench: {args.sessions} sessions, {args.n_windows} windows, "
+        f"{args.tapes} tapes" + (" [smoke]" if args.smoke else "")
+    )
+    with WallClock() as total_clock:
+        config = SimulationConfig(n_windows=args.n_windows)
+        experiment = HARExperiment.standard_mhealth(seed=args.seed, config=config)
+        policies = [rr_policy(3), aas_policy(6), aasr_policy(6), origin_policy(6)]
+        identity, load, shed = asyncio.run(run_bench(args, experiment, policies))
+
+    print(
+        f"headline: {load['sessions']} concurrent sessions, "
+        f"{load['windows_per_s']} windows/s -> "
+        f"{load['sessions_per_core']} sessions/core"
+    )
+
+    payload = {
+        "bench": "serve",
+        "config": {
+            "sessions": args.sessions,
+            "tapes": args.tapes,
+            "n_windows": args.n_windows,
+            "experiment_seed": args.seed,
+            "session_seed": args.session_seed,
+            "smoke": args.smoke,
+        },
+        "sessions_per_core": load["sessions_per_core"],
+        "identity": identity,
+        "load": load,
+        "shed": shed,
+    }
+    output = args.output
+    if output is None and not args.smoke:
+        output = DEFAULT_OUTPUT
+    if output is not None:
+        write_stamped_json(output, payload, wall_time_s=total_clock.elapsed_s)
+        print(f"wrote {output}")
+    print(f"total wall time {total_clock.elapsed_s:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

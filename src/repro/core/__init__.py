@@ -8,6 +8,7 @@
   (RR / AAS / AASR / Origin) and the two fully-powered baselines.
 """
 
+from repro.core.engine import DecisionEngine, NodeSlotState, make_vote
 from repro.core.ensemble import (
     ConfidenceMatrix,
     MajorityVote,
@@ -35,6 +36,9 @@ from repro.core.policies import (
 )
 
 __all__ = [
+    "DecisionEngine",
+    "NodeSlotState",
+    "make_vote",
     "ConfidenceMatrix",
     "MajorityVote",
     "WeightedMajorityVote",

@@ -62,6 +62,13 @@ class FleetError(ReproError, RuntimeError):
     against a different cohort's fingerprint, ...)."""
 
 
+class ServeError(ReproError, RuntimeError):
+    """An online serving exchange was malformed (bad frame, protocol
+    version mismatch, out-of-order window, unknown profile, oversized
+    payload, ...).  Server sessions answer with an ``error`` frame and
+    close instead of crashing the server."""
+
+
 class StoreError(ReproError, RuntimeError):
     """An artifact-store operation failed (unwritable root, lock timeout,
     malformed manifest, key/schema mismatch, ...).  Integrity failures on

@@ -63,6 +63,7 @@ HEADLINES: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("users_per_second", "higher"),
         ("speedup.speedup", "higher"),
     ),
+    "serve": (("sessions_per_core", "higher"),),
 }
 
 

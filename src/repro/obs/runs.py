@@ -85,7 +85,12 @@ class RunRecord:
             return f"{self.run_id}  DAMAGED ({self.damaged})"
         counters = self.counters
         salient = ""
-        for name in ("fleet.users", "sweep.progress.cells", "sim.runs"):
+        for name in (
+            "fleet.users",
+            "sweep.progress.cells",
+            "serve.windows",
+            "sim.runs",
+        ):
             if name in counters:
                 salient = f"{name}={counters[name]:g}"
                 break

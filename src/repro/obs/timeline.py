@@ -47,6 +47,7 @@ from repro.obs.schema import (
 
 __all__ = [
     "TimeSeriesRecorder",
+    "TimeSeriesTail",
     "attach_recorder",
     "read_timeseries",
     "SAMPLE_KIND",
@@ -300,52 +301,122 @@ def attach_recorder(
     return recorder
 
 
+class TimeSeriesTail:
+    """Incremental, offset-resumable reader over a (live) stream.
+
+    A dashboard refreshing every couple of seconds over an hours-long
+    stream must not re-read and re-parse the whole file per frame.  A
+    tail remembers the byte offset of the last *complete* line it
+    consumed and each :meth:`poll` reads only what the writer appended
+    since — O(new bytes), not O(file) — accumulating the decoded
+    payloads in :attr:`samples` / :attr:`marks`.
+
+    Same tolerance contract as the batch reader: a torn final line
+    (the writer is mid-append, or died there) is left unread until a
+    newline lands behind it; interior lines that fail to parse are
+    skipped.  A file that shrinks under the tail (truncated or swapped
+    by a restarted writer) resets the tail to re-read from the top.
+    The header is validated once, on its first complete appearance;
+    a missing-on-disk file polls as "nothing yet", never raises.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        #: The stream header record (``None`` until it lands complete).
+        self.header: Optional[Dict[str, Any]] = None
+        #: All sample payloads consumed so far, in file order.
+        self.samples: List[Dict[str, Any]] = []
+        #: All mark payloads consumed so far, in file order.
+        self.marks: List[Dict[str, Any]] = []
+        self._offset = 0
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the next unread complete line."""
+        return self._offset
+
+    def reset(self) -> None:
+        """Forget everything and re-read from the top on the next poll."""
+        self.header = None
+        self.samples = []
+        self.marks = []
+        self._offset = 0
+
+    def poll(self) -> int:
+        """Consume newly appended complete records; returns how many.
+
+        Raises :class:`ObservabilityError` if the stream's first
+        complete line is not a valid header (wrong kind, unknown schema
+        version) — the file is not a timeseries stream.
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return 0  # not written yet (or gone): nothing to consume
+        if size < self._offset:
+            self.reset()  # truncated or swapped: start over
+        if size <= self._offset:
+            return 0
+        with open(self.path, "rb") as handle:
+            handle.seek(self._offset)
+            chunk = handle.read(size - self._offset)
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return 0  # only a torn tail so far
+        self._offset += end + 1
+        consumed = 0
+        for raw in chunk[: end + 1].split(b"\n"):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue  # interior corruption: keep what parses
+            if self.header is None:
+                self._ingest_header(record)
+                continue
+            kind = record.get("kind")
+            payload = record.get("payload") or {}
+            if kind == SAMPLE_KIND:
+                validate_event(kind, payload)
+                self.samples.append(payload)
+                consumed += 1
+            elif kind == MARK_KIND:
+                validate_event(kind, payload)
+                self.marks.append(payload)
+                consumed += 1
+        return consumed
+
+    def _ingest_header(self, record: Dict[str, Any]) -> None:
+        if record.get("kind") != HEADER_KIND:
+            raise ObservabilityError(
+                f"{self.path} does not start with a {HEADER_KIND!r} record "
+                f"(got {record.get('kind')!r})"
+            )
+        version = record.get("schema_version")
+        if version not in SCHEMA_CHANGELOG:
+            raise ObservabilityError(
+                f"{self.path} uses trace schema version {version!r}, but "
+                f"this build knows versions {sorted(SCHEMA_CHANGELOG)}"
+            )
+        self.header = record
+
+
 def read_timeseries(
     path: str,
 ) -> Tuple[Dict[str, Any], List[Dict[str, Any]], List[Dict[str, Any]]]:
     """Read a timeseries stream: ``(header, samples, marks)``.
 
-    Built for live files: a torn final line (the writer is mid-append,
-    or died there) is skipped silently; every complete record is
-    schema-validated.  Raises :class:`ObservabilityError` for a missing
-    header or an unknown schema version.
+    One-shot form of :class:`TimeSeriesTail` (which live watchers keep
+    across frames to avoid re-parsing): a torn final line is skipped
+    silently and every complete record is schema-validated.  Raises
+    :class:`ObservabilityError` for a missing header or an unknown
+    schema version, and the usual :class:`OSError` for a missing file.
     """
-    with open(path) as handle:
-        raw_lines = handle.readlines()
-    lines: List[str] = []
-    for index, raw in enumerate(raw_lines):
-        if index == len(raw_lines) - 1 and not raw.endswith("\n"):
-            break  # torn tail: the writer is (or died) mid-append
-        stripped = raw.strip()
-        if stripped:
-            lines.append(stripped)
-    if not lines:
+    with open(path):
+        pass  # surface the missing-file OSError the batch API promises
+    tail = TimeSeriesTail(path)
+    tail.poll()
+    if tail.header is None:
         raise ObservabilityError(f"{path} is empty, not a timeseries stream")
-    header = json.loads(lines[0])
-    if header.get("kind") != HEADER_KIND:
-        raise ObservabilityError(
-            f"{path} does not start with a {HEADER_KIND!r} record "
-            f"(got {header.get('kind')!r})"
-        )
-    version = header.get("schema_version")
-    if version not in SCHEMA_CHANGELOG:
-        raise ObservabilityError(
-            f"{path} uses trace schema version {version!r}, but this build "
-            f"knows versions {sorted(SCHEMA_CHANGELOG)}"
-        )
-    samples: List[Dict[str, Any]] = []
-    marks: List[Dict[str, Any]] = []
-    for line in lines[1:]:
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            continue  # interior corruption: keep what parses
-        kind = record.get("kind")
-        payload = record.get("payload") or {}
-        if kind == SAMPLE_KIND:
-            validate_event(kind, payload)
-            samples.append(payload)
-        elif kind == MARK_KIND:
-            validate_event(kind, payload)
-            marks.append(payload)
-    return header, samples, marks
+    return tail.header, tail.samples, tail.marks

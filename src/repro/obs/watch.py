@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ObservabilityError
-from repro.obs.timeline import _rate_from_samples, read_timeseries
+from repro.obs.timeline import TimeSeriesTail, _rate_from_samples
 
 __all__ = ["RunSnapshot", "snapshot_run_dir", "render_frame", "main"]
 
@@ -131,7 +131,8 @@ class RunSnapshot:
     @property
     def finished(self) -> bool:
         return any(
-            mark.get("label") in ("fleet.run.finished", "sweep.run.finished")
+            mark.get("label")
+            in ("fleet.run.finished", "sweep.run.finished", "serve.run.finished")
             for mark in self.marks
         )
 
@@ -172,8 +173,15 @@ def snapshot_run_dir(
     *,
     journal: Optional[str] = None,
     timeseries: Optional[str] = None,
+    tail: Optional[TimeSeriesTail] = None,
 ) -> RunSnapshot:
-    """One read-only parse of a run directory's observable state."""
+    """One read-only parse of a run directory's observable state.
+
+    Pass a persistent :class:`~repro.obs.timeline.TimeSeriesTail` (as
+    the refreshing watch loop does) to read only the bytes appended
+    since the previous frame instead of re-parsing the whole stream;
+    without one, a throwaway tail reads the file from the top.
+    """
     if not os.path.isdir(run_dir):
         raise ObservabilityError(f"{run_dir!r} is not a directory")
     snapshot = RunSnapshot(run_dir=run_dir)
@@ -189,16 +197,18 @@ def snapshot_run_dir(
         snapshot.journal_path = journal_path
         snapshot.journal_cells = _read_journal_cells(journal_path)
 
-    ts_path = timeseries or os.path.join(run_dir, "timeseries.jsonl")
-    if os.path.exists(ts_path):
-        try:
-            header, samples, marks = read_timeseries(ts_path)
-        except ObservabilityError:
-            pass  # header not landed yet: render the waiting frame
-        else:
-            snapshot.ts_meta = header.get("meta", {})
-            snapshot.samples = samples
-            snapshot.marks = marks
+    if tail is None:
+        tail = TimeSeriesTail(
+            timeseries or os.path.join(run_dir, "timeseries.jsonl")
+        )
+    try:
+        tail.poll()
+    except ObservabilityError:
+        pass  # header not landed (or not a stream) yet: waiting frame
+    if tail.header is not None:
+        snapshot.ts_meta = tail.header.get("meta", {})
+        snapshot.samples = tail.samples
+        snapshot.marks = tail.marks
     return snapshot
 
 
@@ -241,6 +251,25 @@ def render_frame(snapshot: RunSnapshot) -> str:
     if not snapshot.samples and not snapshot.journal_cells:
         lines.append("waiting   no journal or timeseries yet — is the run up?")
         return "\n".join(lines)
+
+    if job == "serve":
+        active = snapshot.gauge("serve.sessions.active")
+        lines.append(
+            f"sessions  active {int(active) if active is not None else 0}"
+            f" · opened {int(snapshot.counter('serve.sessions.opened'))}"
+            f" · closed {int(snapshot.counter('serve.sessions.closed'))}"
+        )
+        age = snapshot.stream_age_s
+        age_part = f"   stream age {age:.1f}s" if age is not None else ""
+        lines.append(
+            f"windows   {int(snapshot.counter('serve.windows'))} ingested   "
+            f"{snapshot.rate('serve.windows'):.1f}/s{age_part}"
+        )
+        shed = int(snapshot.counter("serve.windows.shed"))
+        lines.append(
+            f"decisions {int(snapshot.counter('serve.decisions'))}"
+            + (f" · shed {shed}" if shed else "")
+        )
 
     total_users = snapshot.gauge("fleet.total_users")
     total_shards = snapshot.gauge("fleet.total_shards")
@@ -346,10 +375,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # One tail across frames: each refresh reads only the bytes the
+    # writer appended since the previous frame.
+    tail = TimeSeriesTail(
+        args.timeseries or os.path.join(args.run_dir, "timeseries.jsonl")
+    )
+
     def frame() -> str:
-        snapshot = snapshot_run_dir(
-            args.run_dir, journal=args.journal, timeseries=args.timeseries
-        )
+        snapshot = snapshot_run_dir(args.run_dir, journal=args.journal, tail=tail)
         return render_frame(snapshot)
 
     try:

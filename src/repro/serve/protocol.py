@@ -1,0 +1,278 @@
+"""Wire protocol for the online serving path.
+
+Frames are length-prefixed JSON: a 4-byte big-endian payload size
+followed by a UTF-8 JSON object.  JSON keeps the stream debuggable
+(``nc`` + eyeballs) and — because python's ``json`` round-trips floats
+through the shortest-repr algorithm — *exact*: an energy value decoded
+on the server compares equal to the float the device serialized, which
+is what lets a served session reproduce an offline run bit for bit.
+
+One exchange per scheduling slot::
+
+    device                          server
+    ------                          ------
+    hello{profile, policy, seed,
+          n_windows, states}   -->
+                               <--  hello_ack{session, active}   (slot 0)
+    window{slot=0, reports,
+           states for slot 1}  -->
+                               <--  decision{slot=0, label, shed,
+                                             active_next}        (slot 1)
+    ...
+    window{slot=N-1, reports}  -->      (no next states: timeline over)
+                               <--  decision{slot=N-1, ..., active_next=None}
+    bye{}                      -->
+                               <--  bye_ack{stats}
+
+The decision frame piggybacks the *next* slot's active set, so steady
+state costs one round-trip per slot.  Any protocol violation is answered
+with an ``error`` frame and the connection closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.engine import NodeSlotState
+from repro.core.policies import AggregationMode, PolicySpec
+from repro.errors import ServeError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "WireReport",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+    "validate_frame",
+    "policy_to_wire",
+    "policy_from_wire",
+    "states_to_wire",
+    "states_from_wire",
+    "report_to_wire",
+    "report_from_wire",
+]
+
+#: Bump on any incompatible frame-layout change.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's JSON payload.  A window frame carries at
+#: most a handful of per-node reports and states — kilobytes — so any
+#: larger length prefix is garbage (or an attack) and drops the session.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+#: ``{frame type: required fields}`` (beyond ``type`` itself).
+FRAME_FIELDS: Dict[str, Sequence[str]] = {
+    "hello": ("version", "profile", "policy", "seed", "n_windows", "states"),
+    "hello_ack": ("version", "session", "active"),
+    "window": ("slot", "reports"),
+    "decision": ("slot", "label", "shed", "active_next"),
+    "bye": (),
+    "bye_ack": ("stats",),
+    "error": ("message",),
+}
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialize one frame to its on-wire bytes (prefix + JSON)."""
+    payload = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES="
+            f"{MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame's JSON payload (the bytes after the prefix)."""
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServeError(f"undecodable frame: {error}") from None
+    if not isinstance(frame, dict):
+        raise ServeError(f"frame must be a JSON object, got {type(frame).__name__}")
+    return frame
+
+
+def validate_frame(
+    frame: Dict[str, Any], expected_type: Optional[str] = None
+) -> str:
+    """Check a decoded frame's type and required fields; returns the type."""
+    kind = frame.get("type")
+    if kind not in FRAME_FIELDS:
+        raise ServeError(f"unknown frame type {kind!r}")
+    if expected_type is not None and kind != expected_type:
+        raise ServeError(f"expected a {expected_type!r} frame, got {kind!r}")
+    missing = [name for name in FRAME_FIELDS[kind] if name not in frame]
+    if missing:
+        raise ServeError(f"{kind!r} frame is missing fields {missing}")
+    return kind
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF before the prefix."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between frames
+        raise ServeError("connection dropped mid-prefix") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ServeError("connection dropped mid-frame") from None
+    return decode_frame(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, frame: Dict[str, Any]
+) -> None:
+    """Serialize and send one frame, honouring transport backpressure."""
+    writer.write(encode_frame(frame))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# payload codecs
+# ----------------------------------------------------------------------
+
+
+def policy_to_wire(spec: PolicySpec) -> Dict[str, Any]:
+    """A :class:`PolicySpec` as a wire dict."""
+    return {
+        "name": spec.name,
+        "rr_length": spec.rr_length,
+        "activity_aware": spec.activity_aware,
+        "aggregation": spec.aggregation.value,
+        "adaptive_confidence": spec.adaptive_confidence,
+        "all_on": spec.all_on,
+    }
+
+
+def policy_from_wire(wire: Dict[str, Any]) -> PolicySpec:
+    """Rebuild a :class:`PolicySpec` from its wire dict."""
+    try:
+        return PolicySpec(
+            name=str(wire["name"]),
+            rr_length=int(wire["rr_length"]),
+            activity_aware=bool(wire["activity_aware"]),
+            aggregation=AggregationMode(wire["aggregation"]),
+            adaptive_confidence=bool(wire.get("adaptive_confidence", False)),
+            all_on=bool(wire.get("all_on", False)),
+        )
+    except (KeyError, ValueError, TypeError) as error:
+        raise ServeError(f"bad policy spec on the wire: {error}") from None
+
+
+def states_to_wire(states: Dict[int, NodeSlotState]) -> Dict[str, Any]:
+    """Scheduler-visible node states as a wire dict.
+
+    JSON object keys are strings, so node ids stringify; insertion order
+    survives the round trip (python dicts and ``json`` both preserve
+    it), which scheduling tie-breaks depend on.
+    """
+    return {
+        str(node_id): [state.energy_j, state.ready, state.online]
+        for node_id, state in states.items()
+    }
+
+
+def states_from_wire(wire: Dict[str, Any]) -> Dict[int, NodeSlotState]:
+    """Rebuild the ordered ``{node_id: NodeSlotState}`` map."""
+    try:
+        return {
+            int(node_id): NodeSlotState(
+                energy_j=float(raw[0]), ready=bool(raw[1]), online=bool(raw[2])
+            )
+            for node_id, raw in wire.items()
+        }
+    except (ValueError, TypeError, IndexError) as error:
+        raise ServeError(f"bad node states on the wire: {error}") from None
+
+
+@dataclass(frozen=True)
+class WireReport:
+    """A node's slot report as the decision core consumes it.
+
+    Duck-types the report fields of
+    :class:`~repro.wsn.node.InferenceOutcome` (the engine only reads
+    these) without the outcome's completed-implies-probabilities
+    invariant — softmax vectors never cross the wire, only the label and
+    the variance-of-softmax confidence, exactly what the paper's result
+    message carries.
+    """
+
+    node_id: int
+    slot_index: int
+    started_slot: int
+    completed: bool
+    delivered: bool = True
+    predicted_label: Optional[int] = None
+    confidence: Optional[float] = None
+    reported_label: Optional[int] = None
+    probabilities: Optional[Any] = None
+
+    @property
+    def delivered_label(self) -> Optional[int]:
+        """The label as the host receives it (garbled if corrupted)."""
+        return (
+            self.reported_label
+            if self.reported_label is not None
+            else self.predicted_label
+        )
+
+
+def report_to_wire(outcome: Any) -> List[Any]:
+    """An outcome/report as a compact wire list.
+
+    ``[node_id, slot, started_slot, completed, delivered, label,
+    confidence, reported_label]`` — positional, because a window frame
+    carries one per active node every 2.56 simulated seconds.
+    """
+    return [
+        outcome.node_id,
+        outcome.slot_index,
+        outcome.started_slot,
+        outcome.completed,
+        outcome.delivered,
+        outcome.predicted_label,
+        (None if outcome.confidence is None else float(outcome.confidence)),
+        outcome.reported_label,
+    ]
+
+
+def report_from_wire(wire: Sequence[Any]) -> WireReport:
+    """Rebuild a :class:`WireReport` from its wire list."""
+    if not isinstance(wire, (list, tuple)) or len(wire) != 8:
+        raise ServeError(f"bad report on the wire: {wire!r}")
+    try:
+        return WireReport(
+            node_id=int(wire[0]),
+            slot_index=int(wire[1]),
+            started_slot=(wire[2] if wire[2] is None else int(wire[2])),
+            completed=bool(wire[3]),
+            delivered=bool(wire[4]),
+            predicted_label=(wire[5] if wire[5] is None else int(wire[5])),
+            confidence=(wire[6] if wire[6] is None else float(wire[6])),
+            reported_label=(wire[7] if wire[7] is None else int(wire[7])),
+        )
+    except (ValueError, TypeError) as error:
+        raise ServeError(f"bad report on the wire: {error}") from None

@@ -1,0 +1,382 @@
+"""Asyncio session server for the online serving path.
+
+One :class:`ServeServer` accepts device connections on a TCP port and
+runs each as an independent :class:`~repro.serve.session.Session`.  The
+per-connection plumbing is a bounded queue between a socket reader and a
+decision worker, which is where the overload policy lives:
+
+* ``overload="block"`` (default) — a full queue makes the reader await,
+  which stops draining the socket, which propagates TCP backpressure to
+  the device.  Every window is decided; an overloaded server slows
+  devices down instead of degrading, and determinism is preserved.
+* ``overload="shed"`` — the worker sheds a window frame whenever the
+  backlog behind it exceeds ``shed_watermark``: the reports are still
+  ingested (recall memory and scheduler feedback stay consistent) but
+  no vote runs, and the device is told to keep its previous decision
+  (``decision{shed: true}``).  Latency stays bounded at the cost of
+  skipped votes, every one of them accounted in ``serve.windows.shed``.
+
+With ``run_dir`` set the server becomes watchable: it streams cadenced
+metric samples (sessions, windows/s, decisions, sheds) into
+``run_dir/timeseries.jsonl`` via the standard
+:class:`~repro.obs.timeline.TimeSeriesRecorder`, so
+``python -m repro.obs.watch RUN_DIR`` renders a live serving dashboard,
+and it registers the finished run in the :class:`~repro.obs.runs.RunRegistry`.
+
+Shutdown is a graceful drain: :meth:`stop` closes the listener, gives
+in-flight sessions ``drain_timeout_s`` to finish their exchanges, then
+cancels stragglers — leaving no orphan tasks behind (asserted by the
+test suite).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+from typing import Any, Dict, Optional, Set
+
+from repro.errors import ConfigurationError, ServeError
+from repro.obs.observer import NULL_OBS, Observability
+from repro.obs.trace import Tracer
+from repro.serve.protocol import read_frame, write_frame
+from repro.serve.session import EngineCatalog, Session
+
+__all__ = ["ServeServer"]
+
+logger = logging.getLogger(__name__)
+
+#: Default seconds in-flight sessions get to finish during :meth:`stop`.
+DEFAULT_DRAIN_TIMEOUT_S = 5.0
+
+#: Default per-session frame queue depth.
+DEFAULT_QUEUE_SIZE = 8
+
+
+class ServeServer:
+    """Serve decision engines to streaming devices over TCP.
+
+    Parameters
+    ----------
+    catalog:
+        The :class:`~repro.serve.session.EngineCatalog` of servable
+        profiles.
+    host / port:
+        Bind address; port 0 (default) picks a free port, readable from
+        :attr:`port` after :meth:`start`.
+    queue_size:
+        Per-session frame queue depth (the backpressure buffer).
+    overload:
+        ``"block"`` or ``"shed"`` (see module docstring).
+    shed_watermark:
+        Backlog depth above which the shed policy drops votes; defaults
+        to half the queue.
+    run_dir:
+        Arm live observability: stream ``timeseries.jsonl`` here, write
+        per-session decision traces under ``run_dir/sessions/`` when
+        ``session_traces`` is set, and register the run on :meth:`stop`.
+    session_traces:
+        Write each session's engine trace (``slot.scheduled`` /
+        ``vote.cast`` / ...) as a standard v2 trace file under
+        ``run_dir/sessions/``.
+    registry:
+        A :class:`~repro.obs.runs.RunRegistry` to record the finished
+        run into (``kind="serve"``).  ``None`` skips registration.
+    obs:
+        Externally owned observability bundle; defaults to a live one
+        when ``run_dir`` is set, else ``NULL_OBS``.
+    worker_pause_s:
+        Artificial per-frame decision delay — a deterministic way to
+        make a fast local client outrun the worker in tests and demos
+        of the overload policies.
+    drain_timeout_s / sample_interval_s:
+        Shutdown grace period and timeseries cadence.
+    """
+
+    def __init__(
+        self,
+        catalog: EngineCatalog,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        overload: str = "block",
+        shed_watermark: Optional[int] = None,
+        run_dir: Optional[str] = None,
+        session_traces: bool = False,
+        registry: Optional[Any] = None,
+        obs: Optional[Observability] = None,
+        worker_pause_s: float = 0.0,
+        drain_timeout_s: float = DEFAULT_DRAIN_TIMEOUT_S,
+        sample_interval_s: float = 0.5,
+    ) -> None:
+        if overload not in ("block", "shed"):
+            raise ConfigurationError(
+                f"overload must be 'block' or 'shed', got {overload!r}"
+            )
+        if queue_size < 1:
+            raise ConfigurationError(f"queue_size must be >= 1, got {queue_size}")
+        if shed_watermark is None:
+            shed_watermark = max(1, queue_size // 2)
+        if shed_watermark < 0:
+            raise ConfigurationError(
+                f"shed_watermark must be >= 0, got {shed_watermark}"
+            )
+        if worker_pause_s < 0:
+            raise ConfigurationError(
+                f"worker_pause_s must be >= 0, got {worker_pause_s}"
+            )
+        self.catalog = catalog
+        self.host = host
+        self._requested_port = port
+        self.queue_size = int(queue_size)
+        self.overload = overload
+        self.shed_watermark = int(shed_watermark)
+        self.run_dir = os.fspath(run_dir) if run_dir is not None else None
+        self.session_traces = bool(session_traces)
+        self.registry = registry
+        self.worker_pause_s = float(worker_pause_s)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.sample_interval_s = float(sample_interval_s)
+        if obs is not None:
+            self.obs = obs
+        elif self.run_dir is not None:
+            self.obs = Observability()
+        else:
+            self.obs = NULL_OBS
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: Set["asyncio.Task"] = set()
+        self._sampler_task: Optional["asyncio.Task"] = None
+        self._recorder = None
+        self._session_seq = 0
+        self._active_sessions = 0
+        self.run_id: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the listener (and the timeseries stream, if armed)."""
+        if self._server is not None:
+            raise ServeError("server already started")
+        if self.run_dir is not None and self.obs.enabled:
+            from repro.obs.timeline import attach_recorder
+
+            os.makedirs(self.run_dir, exist_ok=True)
+            self._recorder = attach_recorder(
+                self.obs,
+                os.path.join(self.run_dir, "timeseries.jsonl"),
+                interval_s=self.sample_interval_s,
+                meta={
+                    "job": "serve",
+                    "profiles": ",".join(self.catalog.names()),
+                    "overload": self.overload,
+                },
+            )
+            self._recorder.mark("serve.run.started")
+            self._sampler_task = asyncio.ensure_future(self._sampler())
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self._requested_port
+        )
+        logger.info("serving %s on %s:%d", self.catalog.names(), self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI ``run`` mode)."""
+        if self._server is None:
+            raise ServeError("server is not started")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful drain: close, wait, cancel stragglers, finalize."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                set(self._conn_tasks), timeout=self.drain_timeout_s
+            )
+            if pending:
+                logger.warning(
+                    "drain timeout: cancelling %d in-flight session(s)",
+                    len(pending),
+                )
+                for task in pending:
+                    task.cancel()
+                await asyncio.wait(pending)
+        self._conn_tasks.clear()
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except asyncio.CancelledError:
+                pass
+            self._sampler_task = None
+        if self._recorder is not None:
+            self._recorder.mark("serve.run.finished")
+            self._recorder.close()
+            self._recorder = None
+        if self.registry is not None and self.obs.enabled:
+            self.run_id = self.registry.record(
+                kind="serve",
+                metrics=self.obs.metrics,
+                meta={
+                    "profiles": ",".join(self.catalog.names()),
+                    "overload": self.overload,
+                },
+                timeseries=(
+                    os.path.join(self.run_dir, "timeseries.jsonl")
+                    if self.run_dir is not None
+                    else None
+                ),
+                run_dir=self.run_dir,
+            )
+
+    async def _sampler(self) -> None:
+        while True:
+            await asyncio.sleep(self.sample_interval_s)
+            if self._recorder is not None:
+                self._recorder.sample()
+
+    # ------------------------------------------------------------------
+    # per-connection plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        metrics = self.obs.metrics
+        self._session_seq += 1
+        session_id = f"sess-{self._session_seq}"
+        self._active_sessions += 1
+        metrics.inc("serve.sessions.opened")
+        metrics.set_gauge("serve.sessions.active", self._active_sessions)
+        session_obs = NULL_OBS
+        if self.session_traces and self.run_dir is not None:
+            session_obs = Observability(tracer=Tracer(), metrics=self.obs.metrics)
+        session = Session(
+            self.catalog,
+            session_id=session_id,
+            metrics=metrics if self.obs.enabled else None,
+            obs=session_obs,
+        )
+        queue: "asyncio.Queue" = asyncio.Queue(maxsize=self.queue_size)
+        pump = asyncio.ensure_future(self._pump(reader, queue))
+        try:
+            await self._worker(session, queue, writer)
+        finally:
+            pump.cancel()
+            try:
+                await pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._active_sessions -= 1
+            metrics.inc("serve.sessions.closed")
+            metrics.set_gauge("serve.sessions.active", self._active_sessions)
+            if session_obs is not NULL_OBS and len(session_obs.tracer):
+                self._export_session_trace(session, session_obs)
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _pump(
+        self, reader: asyncio.StreamReader, queue: "asyncio.Queue"
+    ) -> None:
+        """Socket → queue.  A full queue blocks the read loop, which is
+        exactly the ``block`` policy's TCP backpressure."""
+        try:
+            while True:
+                frame = await read_frame(reader)
+                await queue.put(frame)
+                if frame is None:
+                    return
+        except ServeError as error:
+            await queue.put(error)
+        except (ConnectionError, OSError):
+            await queue.put(None)
+
+    async def _worker(
+        self,
+        session: Session,
+        queue: "asyncio.Queue",
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:  # EOF or dead socket
+                return
+            if isinstance(item, ServeError):
+                await self._send_error(writer, item)
+                return
+            # Shed decision at dequeue time: qsize() is the backlog that
+            # piled up behind this frame while it waited.
+            shed = (
+                self.overload == "shed"
+                and item.get("type") == "window"
+                and queue.qsize() > self.shed_watermark
+            )
+            if self.worker_pause_s:
+                await asyncio.sleep(self.worker_pause_s)
+            try:
+                replies = session.handle(item, shed=shed)
+            except ServeError as error:
+                await self._send_error(writer, error)
+                return
+            for reply in replies:
+                await write_frame(writer, reply)
+            if session.closed:
+                return
+
+    @staticmethod
+    async def _send_error(
+        writer: asyncio.StreamWriter, error: ServeError
+    ) -> None:
+        try:
+            await write_frame(writer, {"type": "error", "message": str(error)})
+        except (ConnectionError, OSError):
+            pass
+
+    def _export_session_trace(self, session: Session, obs: Observability) -> None:
+        sessions_dir = os.path.join(self.run_dir, "sessions")
+        os.makedirs(sessions_dir, exist_ok=True)
+        obs.tracer.write_jsonl(
+            os.path.join(sessions_dir, f"{session.session_id}.jsonl"),
+            meta={
+                "session": session.session_id,
+                "profile": session.profile.name if session.profile else None,
+                "policy": session.policy.name if session.policy else None,
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Current serving counters (zeros when observability is off)."""
+        if not self.obs.enabled:
+            return {}
+        exported = self.obs.metrics.to_dict()
+        counters = exported.get("counters", {})
+        return {
+            name: counters.get(name, 0.0)
+            for name in (
+                "serve.sessions.opened",
+                "serve.sessions.closed",
+                "serve.windows",
+                "serve.decisions",
+                "serve.windows.shed",
+            )
+        }

@@ -20,16 +20,14 @@ from __future__ import annotations
 
 import logging
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.engine import DecisionEngine, NodeSlotState, make_vote
 from repro.core.ensemble.confidence import ConfidenceMatrix
-from repro.core.ensemble.voting import MajorityVote, WeightedMajorityVote
-from repro.core.policies import AggregationMode, PolicySpec
-from repro.core.scheduling.base import SchedulingContext
+from repro.core.policies import PolicySpec
 from repro.datasets.base import HARDataset
 from repro.datasets.body import BodyLocation
 from repro.datasets.subjects import SubjectProfile
@@ -37,7 +35,7 @@ from repro.energy.harvester import Harvester
 from repro.energy.nvp import NonVolatileProcessor
 from repro.energy.storage import Capacitor
 from repro.energy.traces import PowerTraceGenerator
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.obs.observer import NULL_OBS, Observability
 from repro.sim.predcache import RunMaterial, build_run_material, default_subject
@@ -261,11 +259,9 @@ class HARExperiment:
         return nodes
 
     def _make_vote(self, spec: PolicySpec, confidence: ConfidenceMatrix):
-        if spec.aggregation is AggregationMode.MAJORITY_RECALL:
-            return MajorityVote()
-        if spec.aggregation is AggregationMode.CONFIDENCE_RECALL:
-            return WeightedMajorityVote(confidence)
-        raise SimulationError(f"{spec.aggregation} has no host-side vote")
+        # Kept for back-compat: the vote factory moved to the decision
+        # core (repro.core.engine.make_vote) with the serving split.
+        return make_vote(spec, confidence)
 
     # ------------------------------------------------------------------
     # the run loop
@@ -304,9 +300,9 @@ class HARExperiment:
         window_transform:
             Applied to every sensed window (e.g. Gaussian noise).
         failures:
-            Deprecated shim for ``faults``: ``{node id: slot index}`` —
-            the node dies at that slot and never participates again.
-            Compiled into ``FaultPlan.from_failures(failures)``.
+            Removed.  Passing it raises :class:`TypeError`; build a
+            ``faults=FaultPlan.from_failures({node_id: slot})`` plan
+            instead.
         faults:
             A :class:`~repro.faults.FaultPlan` of node deaths,
             brownouts, lossy links, harvester shadowing and host
@@ -343,16 +339,11 @@ class HARExperiment:
             path (the bisection/benchmark baseline).
         """
         if failures is not None:
-            warnings.warn(
-                "failures={node_id: slot} is deprecated; use "
-                "faults=FaultPlan.from_failures(failures) (or compose a "
-                "FaultPlan with NodeDeath models) instead",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "HARExperiment.run(failures={node_id: slot}) was removed; "
+                "pass faults=FaultPlan.from_failures({node_id: slot}) "
+                "(or compose repro.faults.NodeDeath models into a FaultPlan)"
             )
-            if faults is not None:
-                raise ConfigurationError("pass either failures or faults, not both")
-            faults = FaultPlan.from_failures(failures)
         config = self.config
         if n_windows is not None:
             config = replace(config, n_windows=n_windows)
@@ -445,17 +436,20 @@ class HARExperiment:
                 else 0.0
             )
             confidence = self.bundle.confidence_matrix.copy(adaptation_alpha=alpha)
-        host = HostDevice(
-            self._make_vote(policy, confidence)
-            if policy.uses_recall
-            else MajorityVote(),
+        # The shared decision core: scheduler + host recall/vote +
+        # confidence adaptation (also what repro.serve sessions run).
+        core = DecisionEngine(
+            policy,
+            [node.node_id for node in nodes],
+            self.bundle.rank_table,
+            confidence,
             max_recall_age_slots=config.max_recall_age_slots,
             staleness_half_life_slots=(
                 faults.recall_staleness_half_life_slots if faults is not None else None
             ),
+            obs=obs,
         )
-        if obs.enabled:
-            host.attach_obs(obs)
+        host = core.host
         network = BodyAreaNetwork(nodes, host)
 
         # Compile the fault plan into this run's engine and install the
@@ -485,9 +479,6 @@ class HARExperiment:
                     "fault engine compiled: %d fault(s) over %d slots",
                     len(faults.faults), config.n_windows,
                 )
-        scheduler = policy.make_scheduler(network.node_ids(), self.bundle.rank_table)
-        scheduler.reset()
-
         # Cached softmax consumption: a transform changes the sensed
         # window after synthesis, so transformed runs fall back to the
         # node's own per-window inference.
@@ -509,8 +500,6 @@ class HARExperiment:
                 n_nodes=len(nodes),
             )
         result = ExperimentResult(policy_name=policy.name, activities=list(spec.activities))
-        last_final: Optional[int] = None
-        confidence_updates_before = confidence.updates
         nodes_by_id = {node.node_id: node for node in nodes}
 
         for slot in range(config.n_windows):
@@ -529,30 +518,15 @@ class HARExperiment:
                     responsive[n.node_id] = flag
 
             true_label = spec.label_of(labels[slot])
-            context = SchedulingContext(
-                node_energy_j={
-                    n.node_id: (n.stored_energy_j if online[n.node_id] else 0.0)
-                    for n in nodes
-                },
-                node_ready={
-                    n.node_id: (n.can_start_inference() and online[n.node_id])
-                    for n in nodes
-                },
-                anticipated_label=last_final,
-                node_responsive=responsive,
-            )
-            active = [
-                node_id
-                for node_id in scheduler.active_nodes(slot, context)
-                if online[node_id]
-            ]
-            if trace.enabled:
-                trace.append(
-                    "slot.scheduled",
-                    slot,
-                    None,
-                    {"active": list(active), "anticipated": last_final},
+            states = {
+                n.node_id: NodeSlotState(
+                    energy_j=n.stored_energy_j,
+                    ready=n.can_start_inference(),
+                    online=online[n.node_id],
                 )
+                for n in nodes
+            }
+            active = core.begin_slot(slot, states, node_responsive=responsive)
 
             windows: Dict[int, np.ndarray] = {}
             for node_id in active:
@@ -570,42 +544,14 @@ class HARExperiment:
                 ],
             )
 
-            for outcome in outcomes:
-                if not outcome.completed:
-                    continue
-                if engine is not None:
-                    engine.note_completion(outcome.node_id, slot)
-                if policy.adaptive_confidence and outcome.delivered:
-                    # The matrix lives on the host: it adapts on what
-                    # arrived, including a corrupted label.
-                    confidence.update(
-                        outcome.node_id, outcome.delivered_label, outcome.confidence
-                    )
-                    if trace.enabled:
-                        trace.append(
-                            "confidence.updated",
-                            slot,
-                            outcome.node_id,
-                            {
-                                "label": outcome.delivered_label,
-                                "confidence": float(outcome.confidence),
-                            },
-                        )
-
-            if policy.uses_recall:
-                final = host.classify(slot)
-            else:
-                completed = [o for o in outcomes if o.completed and o.delivered]
-                if completed:
-                    last_final = completed[-1].delivered_label
-                final = last_final
-            if final is not None:
-                last_final = final
-
-            # The scheduler is host-side: it never observes a result
-            # whose message was lost in transit.
-            scheduler.observe(
-                slot, [o for o in outcomes if o.delivered], final
+            final = core.finish_slot(
+                slot,
+                outcomes,
+                on_completion=(
+                    (lambda o: engine.note_completion(o.node_id, slot))
+                    if engine is not None
+                    else None
+                ),
             )
             result.records.append(
                 SlotRecord(
@@ -623,7 +569,7 @@ class HARExperiment:
 
         result.node_stats = {node.node_id: node.stats for node in nodes}
         result.comm_energy_j = sum(node.comm.energy_spent_j for node in nodes)
-        result.confidence_updates = confidence.updates - confidence_updates_before
+        result.confidence_updates = core.confidence_updates
         if engine is not None:
             result.fault_stats = engine.finalize(nodes)
         if obs.enabled:

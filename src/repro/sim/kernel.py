@@ -54,15 +54,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.ensemble.voting import MajorityVote
+from repro.core.engine import DecisionEngine, NodeSlotState
 from repro.core.policies import PolicySpec
-from repro.core.scheduling.base import SchedulingContext
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.predcache import RunMaterial, build_run_material, default_subject
 from repro.sim.results import ExperimentResult, SlotRecord
 from repro.utils.rng import SeedSequenceFactory
 from repro.wsn.comm import CommLink
-from repro.wsn.host import HostDevice
 from repro.wsn.node import InferenceOutcome, NodeStats, SensorNode
 
 logger = logging.getLogger(__name__)
@@ -532,16 +530,18 @@ def _lane_outcome(
 
 @dataclass
 class _RunState:
-    """The real python objects of one policy run, fed from lane state."""
+    """The real python objects of one policy run, fed from lane state.
+
+    ``core`` is the shared :class:`~repro.core.engine.DecisionEngine`
+    (scheduler + host recall/vote + confidence adaptation) — the same
+    object the scalar loop and the serving path drive, fed here from
+    the lane arrays.
+    """
 
     spec: PolicySpec
-    scheduler: object
-    host: HostDevice
-    confidence: object
+    core: DecisionEngine
     comms: List[CommLink]
     result: ExperimentResult
-    confidence_updates_before: int
-    last_final: Optional[int] = None
     active_ids: List[int] = field(default_factory=list)
 
 
@@ -660,27 +660,23 @@ def _prepare_group(experiment, group: BatchGroup) -> tuple:
             confidence = experiment.bundle.confidence_matrix.copy(
                 adaptation_alpha=alpha
             )
-        host = HostDevice(
-            experiment._make_vote(spec, confidence)
-            if spec.uses_recall
-            else MajorityVote(),
+        core = DecisionEngine(
+            spec,
+            node_ids,
+            experiment.bundle.rank_table,
+            confidence,
             max_recall_age_slots=config.max_recall_age_slots,
             staleness_half_life_slots=None,
         )
-        scheduler = spec.make_scheduler(node_ids, experiment.bundle.rank_table)
-        scheduler.reset()
         runs.append(
             _RunState(
                 spec=spec,
-                scheduler=scheduler,
-                host=host,
-                confidence=confidence,
+                core=core,
                 comms=[CommLink(config.radio) for _ in nodes],
                 result=ExperimentResult(
                     policy_name=spec.name,
                     activities=list(dataset_spec.activities),
                 ),
-                confidence_updates_before=confidence.updates,
             )
         )
 
@@ -763,19 +759,16 @@ def run_group_batch(
             n_nodes = state.n_nodes
             for r, run in enumerate(state.runs):
                 run_base = state.base + r * n_nodes
-                context = SchedulingContext(
-                    node_energy_j={
-                        node_ids[k]: float(stored[run_base + k])
+                run.active_ids = run.core.begin_slot(
+                    slot,
+                    {
+                        node_ids[k]: NodeSlotState(
+                            energy_j=float(stored[run_base + k]),
+                            ready=bool(ready[run_base + k]),
+                        )
                         for k in range(n_nodes)
                     },
-                    node_ready={
-                        node_ids[k]: bool(ready[run_base + k])
-                        for k in range(n_nodes)
-                    },
-                    anticipated_label=run.last_final,
-                    node_responsive={},
                 )
-                run.active_ids = list(run.scheduler.active_nodes(slot, context))
                 for node_id in run.active_ids:
                     active_mask[lane_of[g, r, node_id]] = True
 
@@ -809,31 +802,8 @@ def run_group_batch(
                         result_message_bytes=node.costs.result_message_bytes,
                     )
                     outcomes.append(outcome)
-                    if outcome.completed and outcome.delivered:
-                        run.host.receive(outcome)
 
-                if run.spec.adaptive_confidence:
-                    for outcome in outcomes:
-                        if outcome.completed and outcome.delivered:
-                            run.confidence.update(
-                                outcome.node_id,
-                                outcome.delivered_label,
-                                outcome.confidence,
-                            )
-
-                if run.spec.uses_recall:
-                    final = run.host.classify(slot)
-                else:
-                    completed = [o for o in outcomes if o.completed and o.delivered]
-                    if completed:
-                        run.last_final = completed[-1].delivered_label
-                    final = run.last_final
-                if final is not None:
-                    run.last_final = final
-
-                run.scheduler.observe(
-                    slot, [o for o in outcomes if o.delivered], final
-                )
+                final = run.core.finish_slot(slot, outcomes, receive=True)
                 run.result.records.append(
                     SlotRecord(
                         slot_index=slot,
@@ -860,9 +830,7 @@ def run_group_batch(
             run.result.comm_energy_j = sum(
                 link.energy_spent_j for link in run.comms
             )
-            run.result.confidence_updates = (
-                run.confidence.updates - run.confidence_updates_before
-            )
+            run.result.confidence_updates = run.core.confidence_updates
             group_results.append(run.result)
         results.append(group_results)
     return results

@@ -1,8 +1,8 @@
 """Experiment-level behaviour of the fault-injection subsystem.
 
 The headline property: an *empty* ``FaultPlan`` reproduces the
-fault-free run bit for bit, and the deprecated ``failures=`` shim is
-exactly equivalent to the ``FaultPlan`` it compiles to.
+fault-free run bit for bit; the PR-1 ``failures=`` shim is gone and
+its ``TypeError`` points at ``FaultPlan.from_failures``.
 """
 
 from dataclasses import replace
@@ -10,7 +10,6 @@ from dataclasses import replace
 import pytest
 
 from repro.core.policies import aas_policy, origin_policy, rr_policy
-from repro.errors import ConfigurationError
 from repro.faults import (
     Brownout,
     FaultPlan,
@@ -56,21 +55,20 @@ class TestEmptyPlanDeterminism:
 
 
 class TestFailuresShim:
-    def test_shim_warns_and_matches_new_api(self, tiny_experiment):
-        with pytest.warns(DeprecationWarning, match="failures"):
-            old = tiny_experiment.run(rr_policy(3), seed=5, failures={0: 10})
-        new = tiny_experiment.run(
+    def test_failures_kwarg_is_gone_with_a_pointer(self, tiny_experiment):
+        # The PR-1 shim is removed: the error must name the replacement.
+        with pytest.raises(TypeError, match="FaultPlan.from_failures"):
+            tiny_experiment.run(rr_policy(3), seed=5, failures={0: 10})
+
+    def test_from_failures_is_the_supported_spelling(self, tiny_experiment):
+        first = tiny_experiment.run(
             rr_policy(3), seed=5, faults=FaultPlan.from_failures({0: 10})
         )
-        _same_result(old, new)
-        assert old.fault_stats.offline_slots == new.fault_stats.offline_slots
-
-    def test_failures_and_faults_mutually_exclusive(self, tiny_experiment):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ConfigurationError):
-                tiny_experiment.run(
-                    rr_policy(3), seed=5, failures={0: 10}, faults=FaultPlan()
-                )
+        second = tiny_experiment.run(
+            rr_policy(3), seed=5, faults=FaultPlan.from_failures({0: 10})
+        )
+        _same_result(first, second)
+        assert first.fault_stats.offline_slots == second.fault_stats.offline_slots
 
 
 class TestNodeDeath:

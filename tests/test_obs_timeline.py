@@ -14,6 +14,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.schema import SCHEMA_CHANGELOG, TRACE_SCHEMA_VERSION
 from repro.obs.timeline import (
     TimeSeriesRecorder,
+    TimeSeriesTail,
     attach_recorder,
     read_timeseries,
 )
@@ -173,6 +174,95 @@ class TestReader:
         path.write_text("")
         with pytest.raises(ObservabilityError, match="empty"):
             read_timeseries(str(path))
+
+
+class TestTail:
+    """Incremental follow: each poll reads only newly appended bytes."""
+
+    def test_poll_is_incremental(self, clocked):
+        clock, metrics, recorder = clocked
+        tail = TimeSeriesTail(recorder.path)
+        metrics.counter("a").inc()
+        recorder.sample()
+        recorder.flush()
+        assert tail.poll() == 1
+        assert tail.poll() == 0  # nothing new appended
+        offset = tail.offset
+        clock.now += 2.0
+        metrics.counter("a").inc()
+        recorder.sample()
+        recorder.mark("shard.done")
+        recorder.flush()
+        assert tail.poll() == 2
+        assert tail.offset > offset
+        assert len(tail.samples) == 2
+        assert [m["label"] for m in tail.marks] == ["shard.done"]
+        assert tail.header is not None
+        recorder.close(final_sample=False)
+
+    def test_matches_batch_reader(self, clocked):
+        clock, metrics, recorder = clocked
+        tail = TimeSeriesTail(recorder.path)
+        for _ in range(5):
+            metrics.counter("n").inc()
+            clock.now += 2.0
+            recorder.sample()
+            recorder.flush()
+            tail.poll()
+        recorder.close(final_sample=False)
+        tail.poll()
+        header, samples, marks = read_timeseries(recorder.path)
+        assert tail.header == header
+        assert tail.samples == samples
+        assert tail.marks == marks
+
+    def test_torn_tail_deferred_until_complete(self, clocked):
+        clock, metrics, recorder = clocked
+        metrics.counter("a").inc()
+        recorder.sample()
+        recorder.flush()
+        tail = TimeSeriesTail(recorder.path)
+        tail.poll()
+        line = json.dumps(
+            {
+                "kind": "timeseries.mark",
+                "payload": {"t_s": 1.0, "label": "late"},
+            }
+        )
+        with open(recorder.path, "a") as handle:
+            handle.write(line[:10])  # a writer mid-append
+        assert tail.poll() == 0
+        with open(recorder.path, "a") as handle:
+            handle.write(line[10:] + "\n")
+        assert tail.poll() == 1
+        assert tail.marks[-1]["label"] == "late"
+        recorder.close(final_sample=False)
+
+    def test_truncation_resets(self, clocked):
+        clock, metrics, recorder = clocked
+        metrics.counter("a").inc()
+        recorder.sample()
+        recorder.close(final_sample=False)
+        tail = TimeSeriesTail(recorder.path)
+        assert tail.poll() == 1
+        header_line = None
+        with open(recorder.path) as handle:
+            header_line = handle.readline()
+        with open(recorder.path, "w") as handle:
+            handle.write(header_line)  # restarted writer: shorter file
+        tail.poll()
+        assert tail.samples == [] and tail.offset == len(header_line)
+
+    def test_missing_file_is_quiet(self, tmp_path):
+        tail = TimeSeriesTail(str(tmp_path / "not-yet.jsonl"))
+        assert tail.poll() == 0
+        assert tail.header is None
+
+    def test_bad_header_raises_on_poll(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "cell"}\n')
+        with pytest.raises(ObservabilityError, match="trace.header"):
+            TimeSeriesTail(str(path)).poll()
 
 
 class TestAttach:

@@ -1,0 +1,171 @@
+"""Session state machine: transport-free frame-in, frames-out tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import origin_policy, rr_policy
+from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.client import record_tape
+from repro.serve.session import EngineCatalog, ServeProfile, Session
+
+
+@pytest.fixture(scope="module")
+def catalog(tiny_experiment):
+    return EngineCatalog(
+        [ServeProfile.from_experiment("default", tiny_experiment)]
+    )
+
+
+@pytest.fixture(scope="module")
+def tape(tiny_experiment):
+    return record_tape(tiny_experiment, origin_policy(6), seed=9)
+
+
+def fresh(catalog, **kwargs) -> Session:
+    return Session(catalog, **kwargs)
+
+
+class TestHappyPath:
+    def test_replay_reproduces_expected_stream(self, catalog, tape):
+        session = fresh(catalog)
+        (ack,) = session.handle(tape.hello)
+        assert ack["type"] == "hello_ack"
+        assert ack["active"] == tape.expected_active[0]
+        labels, actives = [], []
+        for frame in tape.windows:
+            (decision,) = session.handle(frame)
+            assert decision["type"] == "decision"
+            assert decision["shed"] is False
+            labels.append(decision["label"])
+            if decision["active_next"] is not None:
+                actives.append(decision["active_next"])
+        assert labels == tape.expected_labels
+        assert actives == tape.expected_active[1:]
+        assert session.handle({"type": "bye"})[0]["type"] == "bye_ack"
+        assert session.closed
+
+    def test_final_window_carries_no_next_active(self, catalog, tape):
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        for frame in tape.windows:
+            (decision,) = session.handle(frame)
+        assert decision["active_next"] is None
+
+    def test_bye_ack_stats_account_for_every_window(self, catalog, tape):
+        metrics = MetricsRegistry()
+        session = fresh(catalog, session_id="sess-42", metrics=metrics)
+        session.handle(tape.hello)
+        for index, frame in enumerate(tape.windows):
+            session.handle(frame, shed=(index % 3 == 0))
+        (bye_ack,) = session.handle({"type": "bye"})
+        stats = bye_ack["stats"]
+        assert stats["session"] == "sess-42"
+        assert stats["windows"] == len(tape.windows)
+        assert stats["decisions"] + stats["shed"] == stats["windows"]
+        counters = metrics.to_dict()["counters"]
+        assert counters["serve.windows"] == len(tape.windows)
+        assert counters["serve.decisions"] == stats["decisions"]
+        assert counters["serve.windows.shed"] == stats["shed"]
+
+
+class TestShedding:
+    def test_shed_window_repeats_last_decision(self, catalog, tape):
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        (first,) = session.handle(tape.windows[0])
+        (shed,) = session.handle(tape.windows[1], shed=True)
+        assert shed["shed"] is True
+        assert shed["label"] == first["label"]  # stale, not recomputed
+        assert shed["active_next"] is not None  # scheduling continues
+        assert session.shed_windows == 1 and session.decisions == 1
+
+    def test_shed_keeps_slot_cursor_moving(self, catalog, tape):
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        session.handle(tape.windows[0], shed=True)
+        (decision,) = session.handle(tape.windows[1])
+        assert decision["slot"] == 1
+
+
+class TestViolations:
+    def test_window_before_hello(self, catalog, tape):
+        with pytest.raises(ServeError, match="before hello"):
+            fresh(catalog).handle(tape.windows[0])
+
+    def test_duplicate_hello(self, catalog, tape):
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        with pytest.raises(ServeError, match="duplicate hello"):
+            session.handle(tape.hello)
+
+    def test_version_mismatch(self, catalog, tape):
+        bad = dict(tape.hello, version=99)
+        with pytest.raises(ServeError, match="version 99"):
+            fresh(catalog).handle(bad)
+
+    def test_unknown_profile(self, catalog, tape):
+        bad = dict(tape.hello, profile="nonesuch")
+        with pytest.raises(ServeError, match="unknown profile 'nonesuch'"):
+            fresh(catalog).handle(bad)
+
+    def test_bad_n_windows(self, catalog, tape):
+        bad = dict(tape.hello, n_windows=0)
+        with pytest.raises(ServeError, match="n_windows"):
+            fresh(catalog).handle(bad)
+
+    def test_states_out_of_order(self, catalog, tape):
+        shuffled = dict(reversed(list(tape.hello["states"].items())))
+        bad = dict(tape.hello, states=shuffled)
+        with pytest.raises(ServeError, match="in order"):
+            fresh(catalog).handle(bad)
+
+    def test_out_of_order_window(self, catalog, tape):
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        with pytest.raises(ServeError, match="out-of-order"):
+            session.handle(tape.windows[1])
+
+    def test_replayed_window_rejected(self, catalog, tape):
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        session.handle(tape.windows[0])
+        with pytest.raises(ServeError, match="out-of-order"):
+            session.handle(tape.windows[0])
+
+    def test_states_with_final_window_rejected(self, catalog, tiny_experiment):
+        short = record_tape(tiny_experiment, rr_policy(3), seed=9, n_windows=2)
+        session = fresh(catalog)
+        session.handle(short.hello)
+        session.handle(short.windows[0])
+        bad = dict(short.windows[1], states=short.windows[0]["states"])
+        with pytest.raises(ServeError, match="final window"):
+            session.handle(bad)
+
+    def test_bye_after_close(self, catalog, tape):
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        session.handle({"type": "bye"})
+        with pytest.raises(ServeError, match="bye after close"):
+            session.handle({"type": "bye"})
+
+    def test_server_to_client_frames_rejected(self, catalog):
+        frame = {
+            "type": "decision",
+            "slot": 0,
+            "label": None,
+            "shed": False,
+            "active_next": None,
+        }
+        with pytest.raises(ServeError, match="may not send"):
+            fresh(catalog).handle(frame)
+
+    def test_engine_untouched_after_violation(self, catalog, tape):
+        # A rejected frame must not half-advance the slot cursor.
+        session = fresh(catalog)
+        session.handle(tape.hello)
+        with pytest.raises(ServeError):
+            session.handle(tape.windows[1])
+        (decision,) = session.handle(tape.windows[0])
+        assert decision["label"] == tape.expected_labels[0]
